@@ -1,0 +1,53 @@
+"""Figure 10: real-world case studies (bushfire detection, cluster monitoring).
+
+Both use a cost-based cache under greedy selection, ms-scale transmission
+latencies, and (for bushfire) compute-intensive predicates — the paper's
+recipe for the >10x improvements of Hybrid over every baseline.  The
+satellite and trace data are simulated per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CACHE_COST, EiresConfig
+from repro.engine.engine import GREEDY
+from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
+from repro.workloads.bushfire import BushfireConfig, bushfire_workload
+from repro.workloads.cluster import ClusterConfig, cluster_workload
+
+CASES = [
+    ("fig10a_bushfire", lambda: bushfire_workload(BushfireConfig(n_events=6_000))),
+    ("fig10b_cluster", lambda: cluster_workload(ClusterConfig(n_tasks=500))),
+]
+
+
+def run_case(make_workload) -> list[dict]:
+    workload = make_workload()
+    config = EiresConfig(
+        policy=GREEDY,
+        cache_policy=CACHE_COST,
+        cache_capacity=workload.notes["cache_capacity"],
+    )
+    return [run_strategy(workload, strategy, config).summary() for strategy in ALL_STRATEGIES]
+
+
+@pytest.mark.parametrize("name,make_workload", CASES)
+def test_fig10_case(benchmark, report, name, make_workload):
+    rows = benchmark.pedantic(run_case, args=(make_workload,), rounds=1, iterations=1)
+    experiment = ExperimentResult(name, rows)
+    report.add(experiment)
+
+    by = {row["strategy"]: row for row in rows}
+    # Hybrid outperforms every baseline on the median (paper: 206x/21x/200x
+    # for bushfire, 73x/47x/11879x for cluster — we assert the ordering and
+    # a material factor, not the absolute numbers).
+    for baseline in ("BL1", "BL2", "BL3"):
+        assert by["Hybrid"]["p50"] <= by[baseline]["p50"]
+    assert by["BL1"]["p50"] > by["Hybrid"]["p50"] * 5
+    # All strategies agree on the matches.
+    assert len({row["matches"] for row in rows}) == 1
+    if name == "fig10a_bushfire":
+        # PFetch anticipates the per-cell sensor lookups well: close to
+        # Hybrid except in the tail (paper §7.4).
+        assert by["PFetch"]["p50"] <= by["BL2"]["p50"]

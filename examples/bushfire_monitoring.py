@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Case study 1 (paper §7.4, Fig. 10a): bushfire detection.
+
+Satellite radiation readings per geographic cell are matched against the
+pattern "three consecutive high-radiation readings of the same cell with
+overlapping footprints", validated against remote ground-sensor data
+(temperature/humidity thresholds per cell) that is 1–10 ms away.  The
+spatial-overlap predicates are compute-intensive, and the window is large —
+the regime where EIRES's improvements are largest.
+
+Run it with::
+
+    python examples/bushfire_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import EIRES, EiresConfig
+from repro.metrics.reporting import format_comparison, format_table
+from repro.workloads.bushfire import BushfireConfig, bushfire_workload
+
+
+def main() -> None:
+    config = BushfireConfig(n_events=6_000)
+    workload = bushfire_workload(config)
+    print(f"Workload: {workload}")
+    print(
+        f"Cells: {config.n_cells} ({config.hot_cell_fraction:.0%} developing hot spots), "
+        f"radiation threshold {config.radiation_threshold} K, "
+        f"sensor latency {config.latency_low_us / 1000:.0f}-{config.latency_high_us / 1000:.0f} ms\n"
+    )
+
+    rows = []
+    for strategy in ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid"):
+        eires = EIRES(
+            workload.query,
+            workload.store,
+            workload.latency_model,
+            strategy=strategy,
+            config=EiresConfig(cache_capacity=workload.notes["cache_capacity"]),
+        )
+        result = eires.run(workload.stream)
+        rows.append(result.summary())
+
+    print(format_table(
+        "Bushfire detection: per-strategy latency percentiles (virtual us)",
+        rows,
+        ("strategy", "matches", "p5", "p25", "p50", "p75", "p95"),
+    ))
+    print()
+    print(format_comparison(rows, metric="p50"))
+    print(format_comparison(rows, metric="p95"))
+    print(
+        "\nPaper reference (Fig. 10a): Hybrid reduces median latencies vs "
+        "BL1/BL2/BL3 by 206x/21x/200x; PFetch tracks Hybrid except in the "
+        "95th-percentile tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

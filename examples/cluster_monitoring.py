@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Case study 2 (paper §7.4, Fig. 10b): cluster monitoring.
+
+Task lifecycle events (submit / schedule / evict / fail) are matched against
+the pattern "submitted, scheduled and evicted; rescheduled and evicted in a
+different region; rescheduled in a third region and failed".  Machine-to-
+region information lives in a remote database 1–10 ms away, and the region
+predicates mix prefetchable references (keyed by earlier bindings) with ones
+keyed by the current event (only lazy evaluation applies) — which is why the
+Hybrid strategy dominates here.
+
+Run it with::
+
+    python examples/cluster_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import EIRES, EiresConfig
+from repro.metrics.reporting import format_comparison, format_table
+from repro.workloads.cluster import ClusterConfig, cluster_workload
+
+
+def main() -> None:
+    config = ClusterConfig(n_tasks=800)
+    workload = cluster_workload(config)
+    print(f"Workload: {workload}")
+    print(
+        f"Machines: {config.n_machines} across {config.n_regions} regions, "
+        f"{config.problematic_fraction:.0%} of tasks on the failing path, "
+        f"region-lookup latency {config.latency_low_us / 1000:.0f}-"
+        f"{config.latency_high_us / 1000:.0f} ms\n"
+    )
+
+    rows = []
+    for strategy in ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid"):
+        eires = EIRES(
+            workload.query,
+            workload.store,
+            workload.latency_model,
+            strategy=strategy,
+            config=EiresConfig(cache_capacity=workload.notes["cache_capacity"]),
+        )
+        result = eires.run(workload.stream)
+        rows.append(result.summary())
+
+    print(format_table(
+        "Cluster monitoring: per-strategy latency percentiles (virtual us)",
+        rows,
+        ("strategy", "matches", "p5", "p25", "p50", "p75", "p95"),
+    ))
+    print()
+    print(format_comparison(rows, metric="p50"))
+    print(format_comparison(rows, metric="p95"))
+    print(
+        "\nPaper reference (Fig. 10b): Hybrid reduces median latencies vs "
+        "BL1/BL2/BL3 by 73x/47x/11,879x — BL3's postponement drowns in the "
+        "partial matches it creates, while Hybrid hides the lookup latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: credit-card fraud detection (Listing 1).
+
+A transaction stream is monitored for two suspicious shapes per credit card:
+a high-volume transaction followed by a denial and another high-volume
+transaction at an unknown location, OR a spending-limit increase beyond the
+organization's maximum followed by a very large transfer to a beneficiary
+outside the pre-authorized set.  The location/limit/pre-authorization data
+all live in remote databases; the pre-authorized clients are organised
+hierarchically (card -> user -> organization), so one fetched organization
+container serves every card under it.
+
+Run it with::
+
+    python examples/fraud_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import EIRES, EiresConfig
+from repro.metrics.reporting import format_comparison, format_table
+from repro.workloads.fraud import FraudConfig, fraud_workload
+
+
+def main() -> None:
+    workload = fraud_workload(FraudConfig(n_events=8_000))
+    print(f"Workload: {workload}")
+    print(f"Query:\n{workload.query}\n")
+
+    rows = []
+    for strategy in ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid"):
+        eires = EIRES(
+            workload.query,
+            workload.store,
+            workload.latency_model,
+            strategy=strategy,
+            config=EiresConfig(cache_capacity=workload.notes["cache_capacity"]),
+        )
+        result = eires.run(workload.stream)
+        rows.append(result.summary())
+
+    print(format_table(
+        "Fraud detection: per-strategy latency percentiles (virtual us)",
+        rows,
+        ("strategy", "matches", "p5", "p25", "p50", "p75", "p95"),
+    ))
+    print()
+    print(format_comparison(rows, metric="p50"))
+    print(format_comparison(rows, metric="p95"))
+
+    hierarchy_demo = workload.store.lookup(("preauth", ("org", 0)))
+    print(
+        f"\nHierarchical remote data: fetching {hierarchy_demo.key} "
+        f"(size {hierarchy_demo.total_size()}) also serves "
+        f"{sum(1 for _ in hierarchy_demo.descendants()) - 1} contained elements."
+    )
+    print(
+        "\nNote: this query's remote predicates sit on transitions into final "
+        "states, so lazy evaluation has nothing to postpone past (Alg. 4's "
+        "succ sets are empty) and the gains come from caching and "
+        "prefetching alone — a structural property of Listing 1, discussed "
+        "in DESIGN.md. The case-study examples show the full EIRES effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a pattern whose selection depends on remote data.
+
+This is the smallest end-to-end EIRES program:
+
+1. define a CEP query in the SASE-style language, with a ``REMOTE[...]``
+   predicate;
+2. populate an in-process remote store (standing in for a remote database)
+   and pick a transmission-latency model;
+3. run the stream through the framework under two strategies and compare
+   detection latencies.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EIRES, EiresConfig, Event, FixedLatency, RemoteStore, Stream, parse_query
+
+# 1. A query: an order (O) followed by a payment (P) of the same customer,
+#    where the payment's amount exceeds the customer's remotely stored limit.
+QUERY = parse_query(
+    """
+    SEQ(O o, P p)
+    WHERE SAME[customer] AND p.amount > REMOTE<limits>[o.customer]
+    WITHIN 10ms
+    """,
+    name="overlimit-payment",
+)
+
+# 2. Remote data: a per-customer limit table, 200 us away.
+store = RemoteStore()
+for customer in range(100):
+    store.put("limits", customer, 500 + 10 * customer)
+latency_model = FixedLatency(200.0)  # microseconds of transmission latency
+
+
+def make_stream(n_events: int = 2_000, seed: int = 7) -> Stream:
+    """Random orders and payments from 100 customers, one event per 50 us."""
+    rng = random.Random(seed)
+    events = []
+    t = 0.0
+    for _ in range(n_events):
+        t += 50.0
+        events.append(
+            Event(
+                t,
+                {
+                    "type": rng.choice(["O", "P"]),
+                    "customer": rng.randrange(100),
+                    "amount": rng.randint(1, 2_000),
+                },
+            )
+        )
+    return Stream(events)
+
+
+def main() -> None:
+    stream = make_stream()
+    print(f"Query: {QUERY}")
+    print(f"Stream: {len(stream)} events\n")
+
+    print(f"{'strategy':>8}  {'matches':>7}  {'p50 (us)':>10}  {'p95 (us)':>10}  {'stalls':>6}")
+    for strategy in ("BL1", "Hybrid"):
+        eires = EIRES(
+            QUERY,
+            store,
+            latency_model,
+            strategy=strategy,
+            config=EiresConfig(cache_capacity=32),
+        )
+        result = eires.run(stream)
+        percentiles = result.latency_percentiles()
+        print(
+            f"{strategy:>8}  {result.match_count:>7}  {percentiles[50]:>10.1f}  "
+            f"{percentiles[95]:>10.1f}  {result.strategy_stats['blocking_stalls']:>6}"
+        )
+
+    print(
+        "\nBoth strategies detect the same matches; EIRES's Hybrid strategy "
+        "hides the 200 us transmission latency that the naive integration "
+        "pays on every lookup."
+    )
+
+
+if __name__ == "__main__":
+    main()

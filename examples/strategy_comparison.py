@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare all six fetching strategies on the paper's synthetic Q1 workload.
+
+Reproduces one panel of Fig. 5 interactively, printing the 5th/25th/50th/
+75th/95th latency percentiles, throughput, and the fetch behaviour that
+explains them (blocking stalls, prefetches, postponements).
+
+Run it with::
+
+    python examples/strategy_comparison.py            # greedy, cost cache
+    python examples/strategy_comparison.py non_greedy lru
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EIRES, EiresConfig, GREEDY, NON_GREEDY, CACHE_COST, CACHE_LRU
+from repro.metrics.reporting import format_comparison, format_table
+from repro.workloads.synthetic import SyntheticConfig, q1_workload
+
+
+def main() -> None:
+    policy = sys.argv[1] if len(sys.argv) > 1 else GREEDY
+    cache_policy = sys.argv[2] if len(sys.argv) > 2 else CACHE_COST
+    if policy not in (GREEDY, NON_GREEDY) or cache_policy not in (CACHE_COST, CACHE_LRU):
+        raise SystemExit(f"usage: {sys.argv[0]} [greedy|non_greedy] [cost|lru]")
+
+    workload = q1_workload(SyntheticConfig(n_events=6_000, id_domain=20, window_events=400))
+    print(f"Workload: {workload}")
+    print(f"Selection policy: {policy}; cache policy: {cache_policy}\n")
+
+    rows = []
+    for strategy in ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid"):
+        eires = EIRES(
+            workload.query,
+            workload.store,
+            workload.latency_model,
+            strategy=strategy,
+            config=EiresConfig(policy=policy, cache_policy=cache_policy, cache_capacity=100),
+        )
+        result = eires.run(workload.stream)
+        rows.append(result.summary())
+
+    print(format_table(
+        f"Q1 / {policy} / {cache_policy} cache: latency percentiles (virtual us)",
+        rows,
+        ("strategy", "matches", "p5", "p25", "p50", "p75", "p95"),
+    ))
+    print()
+    print(format_table(
+        "Why: fetch behaviour per strategy",
+        rows,
+        (
+            "strategy",
+            "throughput_eps",
+            "fetch.blocking_stalls",
+            "fetch.prefetches_issued",
+            "fetch.lazy_postponements",
+            "engine.peak_active_runs",
+        ),
+    ))
+    print()
+    print(format_comparison(rows, metric="p50"))
+
+
+if __name__ == "__main__":
+    main()

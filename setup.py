@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs in offline environments without `wheel`.
+
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`
+through this file; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

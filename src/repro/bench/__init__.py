@@ -1,0 +1,19 @@
+"""Experiment harness shared by the per-figure benchmark suite."""
+
+from repro.bench.harness import (
+    ALL_STRATEGIES,
+    ExperimentResult,
+    results_dir,
+    run_strategy,
+    run_strategy_suite,
+    save_results,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "ExperimentResult",
+    "run_strategy",
+    "run_strategy_suite",
+    "save_results",
+    "results_dir",
+]

@@ -1,0 +1,95 @@
+"""Shared experiment harness behind the ``benchmarks/`` suite.
+
+One *experiment* evaluates a set of strategies (or one strategy across a
+parameter sweep) on a workload and collects the paper's measures — latency
+percentiles and throughput — into rows suitable for
+:func:`repro.metrics.reporting.format_table`.  Results are also dumped as
+JSON under ``results/`` so EXPERIMENTS.md numbers are regenerable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Sequence
+
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.core.pipeline import RunResult
+from repro.metrics.reporting import format_comparison, format_table
+from repro.workloads.base import Workload
+
+__all__ = ["run_strategy", "run_strategy_suite", "ExperimentResult", "save_results", "results_dir"]
+
+ALL_STRATEGIES = ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid")
+
+
+def results_dir() -> str:
+    """``results/`` next to the repository root (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS_DIR")
+    if path is None:
+        path = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def run_strategy(workload: Workload, strategy: str, config: EiresConfig) -> RunResult:
+    """One full replay of a workload under one strategy."""
+    eires = EIRES(
+        workload.query,
+        workload.store,
+        workload.latency_model,
+        strategy=strategy,
+        config=config,
+    )
+    return eires.run(workload.stream)
+
+
+class ExperimentResult:
+    """Rows of one experiment plus table/summary rendering."""
+
+    def __init__(self, name: str, rows: list[dict[str, Any]]) -> None:
+        self.name = name
+        self.rows = rows
+
+    def table(self, columns: Sequence[str] = ("strategy", "matches", "p5", "p25", "p50", "p75", "p95")) -> str:
+        return format_table(self.name, self.rows, columns)
+
+    def comparison(self, metric: str = "p50", higher_is_better: bool = False) -> str:
+        return format_comparison(self.rows, metric=metric, higher_is_better=higher_is_better)
+
+    def row_for(self, strategy: str) -> dict[str, Any]:
+        for row in self.rows:
+            if row.get("strategy") == strategy:
+                return row
+        raise KeyError(f"no row for strategy {strategy!r} in {self.name}")
+
+    def metric(self, strategy: str, metric: str) -> float:
+        return self.row_for(strategy)[metric]
+
+
+def run_strategy_suite(
+    name: str,
+    workload: Workload,
+    config: EiresConfig,
+    strategies: Iterable[str] = ALL_STRATEGIES,
+    extra_fields: dict[str, Any] | None = None,
+) -> ExperimentResult:
+    """Evaluate several strategies on one workload configuration."""
+    rows = []
+    for strategy in strategies:
+        result = run_strategy(workload, strategy, config)
+        row = result.summary()
+        if extra_fields:
+            row.update(extra_fields)
+        rows.append(row)
+    return ExperimentResult(name, rows)
+
+
+def save_results(experiment: ExperimentResult) -> str:
+    """Persist an experiment's rows as JSON; returns the file path."""
+    path = os.path.join(results_dir(), f"{experiment.name.replace(' ', '_')}.json")
+    with open(path, "w") as handle:
+        json.dump({"name": experiment.name, "rows": experiment.rows}, handle, indent=2, default=str)
+    return path

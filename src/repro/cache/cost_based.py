@@ -1,0 +1,155 @@
+"""Cost-based cache policy with two conceptual tiers (§6).
+
+Elements whose use is *certain* (requested by lazy evaluation: some partial
+match already needs them) enter tier T1; speculatively prefetched elements
+enter tier T2.  T1 elements are retained over all T2 elements but drop to T2
+after their first access, at which point their guaranteed use has been
+consumed.
+
+When capacity is reached, victims are taken from T2 before T1.  Within a
+tier, the paper formulates retention as a knapsack over utility subject to
+the size budget and approximates it greedily by utility/size ratio; evicting
+the minimum-ratio element first is the complementary greedy rule used here.
+
+Utilities are *time-varying in both directions* — they grow as partial
+matches accumulate and collapse to zero when their matches expire — so
+priority-queue bookkeeping keyed on stale snapshots systematically shields
+worthless entries behind once-high values.  Eviction therefore uses
+**sampling**: draw a bounded random sample of resident keys from the
+preferred tier and evict the one with the lowest *current* utility/size
+ratio.  This is O(sample) per eviction, needs no invalidation machinery,
+and approximates exact min-eviction the same way sampled-LRU does in
+production caches.
+
+Ratio *ties* are broken by recency (least recently accessed first).  Under
+partial-match workloads most elements serve exactly one live family and tie
+at the same urgent utility; among those, older families are closer to
+window expiry and less likely to produce further accesses, which is the
+same signal LRU exploits.  The utility dominates whenever it actually
+discriminates (multi-family elements, containers, dying keys).
+
+The utility function is injected (``utility_fn``), wired by the framework to
+:class:`repro.utility.model.UtilityModel` evaluated with the cache's
+weighting factor ``omega_cache`` (§4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.cache.base import Cache
+from repro.remote.element import DataKey
+
+__all__ = ["CostBasedCache"]
+
+_SAMPLE_SIZE = 12
+
+
+class _SampledSet:
+    """A set supporting O(1) add/discard and O(k) random sampling."""
+
+    __slots__ = ("_items", "_index")
+
+    def __init__(self) -> None:
+        self._items: list[DataKey] = []
+        self._index: dict[DataKey, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: DataKey) -> bool:
+        return key in self._index
+
+    def add(self, key: DataKey) -> None:
+        if key not in self._index:
+            self._index[key] = len(self._items)
+            self._items.append(key)
+
+    def discard(self, key: DataKey) -> None:
+        position = self._index.pop(key, None)
+        if position is None:
+            return
+        last = self._items.pop()
+        if last != key:
+            self._items[position] = last
+            self._index[last] = position
+
+    def sample(self, rng: random.Random, k: int) -> list[DataKey]:
+        if len(self._items) <= k:
+            return list(self._items)
+        return [self._items[rng.randrange(len(self._items))] for _ in range(k)]
+
+
+class CostBasedCache(Cache):
+    """Two-tier, sampled utility/size-ratio eviction (knapsack approximation)."""
+
+    TIER_CERTAIN = 1
+    TIER_SPECULATIVE = 2
+
+    def __init__(
+        self,
+        capacity: int,
+        utility_fn: Callable[[DataKey], float],
+        seed: int = 0,
+        sample_size: int = _SAMPLE_SIZE,
+    ) -> None:
+        super().__init__(capacity)
+        if sample_size < 1:
+            raise ValueError(f"sample size must be >= 1: {sample_size}")
+        self._utility_fn = utility_fn
+        self._rng = random.Random(seed)
+        self._sample_size = sample_size
+        self._tiers: dict[int, _SampledSet] = {
+            self.TIER_CERTAIN: _SampledSet(),
+            self.TIER_SPECULATIVE: _SampledSet(),
+        }
+        self._last_touch: dict[DataKey, float] = {}
+
+    # -- policy hooks --------------------------------------------------------
+    def _on_access(self, key: DataKey, now: float) -> None:
+        # First access consumes a T1 element's guaranteed use: demote to T2.
+        if key in self._tiers[self.TIER_CERTAIN]:
+            self._tiers[self.TIER_CERTAIN].discard(key)
+            self._tiers[self.TIER_SPECULATIVE].add(key)
+        self._last_touch[key] = now
+
+    def _on_insert(self, key: DataKey, now: float, certain: bool) -> None:
+        tier = self.TIER_CERTAIN if certain else self.TIER_SPECULATIVE
+        self._tiers[tier].add(key)
+        self._last_touch[key] = now
+
+    def _on_remove(self, key: DataKey) -> None:
+        self._tiers[self.TIER_CERTAIN].discard(key)
+        self._tiers[self.TIER_SPECULATIVE].discard(key)
+        self._last_touch.pop(key, None)
+
+    def _select_victim(self) -> DataKey:
+        for tier in (self.TIER_SPECULATIVE, self.TIER_CERTAIN):
+            candidates = self._tiers[tier].sample(self._rng, self._sample_size)
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda key: (self._ratio(key), self._last_touch.get(key, 0.0)),
+                )
+        # Tier sets can only be empty together with the cache itself; reaching
+        # here means an accounting bug upstream.
+        raise RuntimeError("cost-based cache asked to evict from an empty cache")
+
+    def min_utility(self) -> float:
+        """Estimated lowest utility/size ratio among cached elements (Eq. 7).
+
+        Sampled like eviction: the admission gate needs a cheap, current
+        estimate of what a new element would displace.
+        """
+        for tier in (self.TIER_SPECULATIVE, self.TIER_CERTAIN):
+            candidates = self._tiers[tier].sample(self._rng, self._sample_size)
+            if candidates:
+                return min(self._ratio(key) for key in candidates)
+        return 0.0
+
+    # -- internals ----------------------------------------------------------------
+    def _ratio(self, key: DataKey) -> float:
+        element = self._entries.get(key)
+        size = element.total_size() if element is not None else 1
+        return self._utility_fn(key) / max(size, 1)

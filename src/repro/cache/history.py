@@ -1,0 +1,81 @@
+"""Prefetch cache hit/miss history ``H`` (Alg. 3).
+
+Lookahead timing picks, per remote site, the trigger class closest to the
+need whose recent prefetches actually hit.  ``H(site, j)`` aggregates recent
+evidence for "prefetching this site's element when a partial match enters
+class ``j`` makes it available in time".
+
+The paper maintains counts of cache misses with a threshold deciding what is
+sufficient negative evidence, and resets values a fixed period after their
+last increment to cope with stream fluctuation; both knobs are reproduced
+here.  Evidence is tracked per (site, trigger-state) rather than per
+concrete element — elements fetched for one site share fate, and per-element
+tracking would be both noisy and unbounded.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HitHistory"]
+
+
+class _SiteRecord:
+    __slots__ = ("misses", "hits", "last_update")
+
+    def __init__(self) -> None:
+        self.misses = 0
+        self.hits = 0
+        self.last_update = 0.0
+
+
+class HitHistory:
+    """Per (site, trigger state) prefetch outcome counters."""
+
+    def __init__(self, miss_threshold: int = 3, reset_after: float = 1_000_000.0) -> None:
+        if miss_threshold < 1:
+            raise ValueError(f"miss threshold must be >= 1: {miss_threshold}")
+        if reset_after <= 0:
+            raise ValueError(f"reset period must be positive: {reset_after}")
+        self._miss_threshold = miss_threshold
+        self._reset_after = reset_after
+        self._records: dict[tuple[int, int], _SiteRecord] = {}
+
+    def _record(self, site_id: int, state_index: int, now: float) -> _SiteRecord:
+        record = self._records.get((site_id, state_index))
+        if record is None:
+            record = _SiteRecord()
+            self._records[(site_id, state_index)] = record
+        elif now - record.last_update > self._reset_after:
+            # Stale evidence: the stream may have shifted; start over.
+            record.misses = 0
+            record.hits = 0
+        return record
+
+    def record_hit(self, site_id: int, state_index: int, now: float) -> None:
+        """A prefetch triggered at ``state_index`` was in cache when needed."""
+        record = self._record(site_id, state_index, now)
+        record.hits += 1
+        # A hit forgives accumulated misses — evidence is about the recent past.
+        record.misses = 0
+        record.last_update = now
+
+    def record_miss(self, site_id: int, state_index: int, now: float) -> None:
+        """A prefetch triggered at ``state_index`` was *not* available in time."""
+        record = self._record(site_id, state_index, now)
+        record.misses += 1
+        record.last_update = now
+
+    def usable(self, site_id: int, state_index: int, now: float) -> bool:
+        """Whether class ``state_index`` is (still) a trusted prefetch trigger.
+
+        Optimistic by default: with no evidence, the closest class is tried
+        first, exactly like Alg. 3's initial walk.
+        """
+        record = self._records.get((site_id, state_index))
+        if record is None:
+            return True
+        if now - record.last_update > self._reset_after:
+            return True
+        return record.misses < self._miss_threshold
+
+    def __repr__(self) -> str:
+        return f"HitHistory({len(self._records)} site/state records)"

@@ -1,0 +1,36 @@
+"""Least-recently-used cache policy (§6).
+
+Under greedy query semantics many partial matches keep requesting the same
+elements, so recency of access is a good proxy for future utility; the paper
+adopts plain LRU for this regime precisely because it needs no computed
+utility values and has negligible bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import Cache
+from repro.remote.element import DataKey
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(Cache):
+    """Evicts the element that has gone unaccessed the longest."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._recency: OrderedDict[DataKey, None] = OrderedDict()
+
+    def _on_access(self, key: DataKey, now: float) -> None:
+        self._recency.move_to_end(key)
+
+    def _on_insert(self, key: DataKey, now: float, certain: bool) -> None:
+        self._recency[key] = None
+
+    def _on_remove(self, key: DataKey) -> None:
+        self._recency.pop(key, None)
+
+    def _select_victim(self) -> DataKey:
+        return next(iter(self._recency))

@@ -1,0 +1,45 @@
+"""Cache statistics, reported by the experiment harness."""
+
+from __future__ import annotations
+
+__all__ = ["CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss/insertion/eviction counters for one cache instance."""
+
+    __slots__ = ("hits", "misses", "insertions", "evictions", "rejected")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejected = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"insertions={self.insertions}, evictions={self.evictions})"
+        )

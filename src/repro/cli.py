@@ -1,0 +1,103 @@
+"""Command-line interface: compare strategies and inspect queries.
+
+Usage::
+
+    python -m repro.cli compare --workload q1 --policy greedy --cache cost
+    python -m repro.cli compare --workload cluster --strategies BL1 Hybrid
+    python -m repro.cli describe --workload fraud
+
+``compare`` replays a named workload under the selected strategies and
+prints the paper-style percentile table; ``describe`` prints the compiled
+evaluation automaton (states, transitions, remote sites) of the workload's
+query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
+from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
+from repro.engine.engine import GREEDY, NON_GREEDY
+from repro.nfa.compiler import compile_query
+from repro.workloads.base import Workload
+from repro.workloads.bushfire import BushfireConfig, bushfire_workload
+from repro.workloads.cluster import ClusterConfig, cluster_workload
+from repro.workloads.fraud import FraudConfig, fraud_workload
+from repro.workloads.synthetic import SyntheticConfig, q1_workload, q2_workload
+
+__all__ = ["main", "WORKLOADS"]
+
+
+def _q1(events: int) -> Workload:
+    return q1_workload(SyntheticConfig(n_events=events, id_domain=20, window_events=400))
+
+
+def _q2(events: int) -> Workload:
+    return q2_workload(SyntheticConfig(n_events=events, id_domain=40, window_events=400))
+
+
+WORKLOADS: dict[str, Callable[[int], Workload]] = {
+    "q1": _q1,
+    "q2": _q2,
+    "fraud": lambda events: fraud_workload(FraudConfig(n_events=events)),
+    "bushfire": lambda events: bushfire_workload(BushfireConfig(n_events=events)),
+    "cluster": lambda events: cluster_workload(ClusterConfig(n_tasks=max(events // 6, 1))),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="compare fetching strategies")
+    compare.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
+    compare.add_argument("--events", type=int, default=6_000,
+                         help="stream length (tasks x ~6 for 'cluster')")
+    compare.add_argument("--policy", choices=(GREEDY, NON_GREEDY), default=GREEDY)
+    compare.add_argument("--cache", choices=(CACHE_COST, CACHE_LRU), default=CACHE_COST)
+    compare.add_argument("--capacity", type=int, default=None,
+                         help="cache capacity (default: the workload's recommendation)")
+    compare.add_argument("--strategies", nargs="+", default=list(ALL_STRATEGIES),
+                         choices=ALL_STRATEGIES, metavar="STRATEGY")
+
+    describe = subparsers.add_parser("describe", help="print a workload's automaton")
+    describe.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload](args.events)
+    capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
+    config = EiresConfig(policy=args.policy, cache_policy=args.cache, cache_capacity=capacity)
+    rows = [run_strategy(workload, strategy, config).summary() for strategy in args.strategies]
+    experiment = ExperimentResult(
+        f"{args.workload} / {args.policy} / {args.cache} cache (capacity {capacity})", rows
+    )
+    print(experiment.table())
+    if "Hybrid" in args.strategies and len(args.strategies) > 1:
+        print()
+        print(experiment.comparison("p50"))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload](0)
+    automaton = compile_query(workload.query)
+    print(automaton.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "describe":
+        return _cmd_describe(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Framework assembly: configuration, pipeline, and the EIRES facade."""
+
+from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
+from repro.core.framework import EIRES
+from repro.core.pipeline import Pipeline, RunResult
+
+__all__ = ["EIRES", "EiresConfig", "Pipeline", "RunResult", "CACHE_LRU", "CACHE_COST"]

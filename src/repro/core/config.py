@@ -1,0 +1,73 @@
+"""Configuration for an assembled EIRES instance.
+
+One :class:`EiresConfig` captures every tunable of the framework — the
+paper's system parameters (selection policy, cache policy and capacity, the
+utility weighting factors ``omega_fetch``/``omega_cache`` of Eq. 5, the
+estimation-noise ratio of Fig. 8a) plus the cost-model constants of the
+virtual-time simulation.  The benchmark harness sweeps these fields to
+regenerate the sensitivity figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.engine.engine import GREEDY, NON_GREEDY
+from repro.engine.interface import CostModel
+
+__all__ = ["EiresConfig", "CACHE_LRU", "CACHE_COST"]
+
+CACHE_LRU = "lru"
+CACHE_COST = "cost"
+
+
+@dataclass(frozen=True)
+class EiresConfig:
+    """All knobs of one EIRES deployment."""
+
+    # CEP semantics (§2.1)
+    policy: str = GREEDY
+    max_partial_matches: int | None = None
+
+    # Cache management (§6)
+    cache_policy: str = CACHE_COST
+    cache_capacity: int = 10_000
+
+    # Utility model (§4)
+    omega_fetch: float = 0.7
+    omega_cache: float = 0.5
+    utility_tick_interval: int = 1
+    noise_ratio: float = 0.0
+
+    # Prefetch timing/selection (§5.1)
+    lookahead_enabled: bool = True
+    prefetch_gate_enabled: bool = True
+    history_miss_threshold: int = 3
+    history_reset_after: float = 1_000_000.0
+
+    # Lazy evaluation (§5.2)
+    lazy_gate_enabled: bool = True
+
+    # Virtual-time cost model
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    # Reproducibility
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.policy not in (GREEDY, NON_GREEDY):
+            raise ValueError(f"unknown selection policy {self.policy!r}")
+        if self.cache_policy not in (CACHE_LRU, CACHE_COST):
+            raise ValueError(f"unknown cache policy {self.cache_policy!r}")
+        if self.cache_capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {self.cache_capacity}")
+        for name in ("omega_fetch", "omega_cache", "noise_ratio"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+        if self.utility_tick_interval < 1:
+            raise ValueError("utility tick interval must be >= 1")
+
+    def with_(self, **changes) -> "EiresConfig":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **changes)

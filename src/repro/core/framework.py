@@ -1,0 +1,141 @@
+"""The EIRES facade: assemble all components and evaluate queries.
+
+:class:`EIRES` wires together the components of Fig. 4 — the CEP engine, the
+cache, the utility model, and the remote-data fetching strategy — for one
+query over one remote store.  Typical use::
+
+    from repro import EIRES, EiresConfig, parse_query
+    from repro.remote import RemoteStore, UniformLatency
+
+    query = parse_query("SEQ(A a, B b) WHERE a.v1 IN REMOTE[b.v1] WITHIN 100",
+                        name="demo")
+    store = RemoteStore()
+    store.put("v1", 7, {1, 2, 3})
+
+    eires = EIRES(query, store, UniformLatency(10, 100),
+                  strategy="Hybrid", config=EiresConfig())
+    result = eires.run(stream)
+    print(result.latency_percentiles())
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import Cache
+from repro.cache.cost_based import CostBasedCache
+from repro.cache.history import HitHistory
+from repro.cache.lru import LRUCache
+from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
+from repro.core.pipeline import Pipeline, RunResult
+from repro.engine.engine import Engine
+from repro.events.stream import Stream
+from repro.nfa.automaton import Automaton
+from repro.nfa.compiler import compile_query
+from repro.query.ast import Query
+from repro.remote.monitor import LatencyMonitor
+from repro.remote.store import RemoteStore
+from repro.remote.transport import LatencyModel, Transport
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import make_rng, spawn
+from repro.sim.scheduler import FutureScheduler
+from repro.strategies import make_strategy
+from repro.strategies.base import FetchStrategy, RuntimeContext
+from repro.utility.model import UtilityModel
+from repro.utility.noise import NoiseModel
+from repro.utility.rates import RateEstimator
+
+__all__ = ["EIRES"]
+
+
+class EIRES:
+    """One assembled instance of the framework for a single query."""
+
+    def __init__(
+        self,
+        query: Query,
+        store: RemoteStore,
+        latency_model: LatencyModel,
+        strategy: str | FetchStrategy = "Hybrid",
+        config: EiresConfig | None = None,
+        backend: str = "automaton",
+    ) -> None:
+        self.config = config if config is not None else EiresConfig()
+        self.query = query
+        self.automaton: Automaton = compile_query(query)
+        self.clock = VirtualClock()
+        rng = make_rng(self.config.seed)
+        self.monitor = LatencyMonitor()
+        self.transport = Transport(store, latency_model, spawn(rng, "transport"), self.monitor)
+        self.strategy = make_strategy(strategy) if isinstance(strategy, str) else strategy
+        self.cache = self._build_cache()
+        self.noise = NoiseModel(self.config.noise_ratio, seed=self.config.seed)
+        self.utility = UtilityModel(self.automaton, store, self.monitor, noise=self.noise)
+        self.rates = RateEstimator()
+        self.scheduler = FutureScheduler()
+        self.history = HitHistory(
+            miss_threshold=self.config.history_miss_threshold,
+            reset_after=self.config.history_reset_after,
+        )
+        self.strategy.attach(
+            RuntimeContext(
+                automaton=self.automaton,
+                clock=self.clock,
+                transport=self.transport,
+                cache=self.cache,
+                utility=self.utility,
+                rates=self.rates,
+                scheduler=self.scheduler,
+                history=self.history,
+                noise=self.noise,
+                omega_fetch=self.config.omega_fetch,
+                ell_pm=self.config.cost_model.per_guard_cost,
+                lookahead_enabled=self.config.lookahead_enabled,
+                prefetch_gate_enabled=self.config.prefetch_gate_enabled,
+                lazy_gate_enabled=self.config.lazy_gate_enabled,
+                utility_tick_interval=self.config.utility_tick_interval,
+            )
+        )
+        if backend == "automaton":
+            self.engine = Engine(
+                self.automaton,
+                self.clock,
+                cost_model=self.config.cost_model,
+                policy=self.config.policy,
+                max_partial_matches=self.config.max_partial_matches,
+            )
+        elif backend == "tree":
+            # The §9 tree-based execution model; linear SEQ + greedy only.
+            from repro.engine.tree import TreeEngine
+
+            if self.config.policy != "greedy":
+                raise ValueError("the tree backend implements greedy selection only")
+            self.engine = TreeEngine(
+                self.automaton, self.clock, cost_model=self.config.cost_model
+            )
+        else:
+            raise ValueError(f"unknown backend {backend!r}; use 'automaton' or 'tree'")
+        self.backend = backend
+        self.pipeline = Pipeline(self.engine, self.strategy)
+
+    def _build_cache(self) -> Cache | None:
+        if not self.strategy.uses_cache:
+            return None
+        if self.config.cache_policy == CACHE_LRU:
+            return LRUCache(self.config.cache_capacity)
+        if self.config.cache_policy == CACHE_COST:
+            # Bound to the utility model lazily: the model is built right
+            # after the cache, so close over the attribute lookup.
+            return CostBasedCache(
+                self.config.cache_capacity,
+                utility_fn=lambda key: self.utility.value(key, self.config.omega_cache),
+            )
+        raise ValueError(f"unknown cache policy {self.config.cache_policy!r}")
+
+    def run(self, stream: Stream, smoothing_window: int = 1) -> RunResult:
+        """Evaluate the query over ``stream`` and return all measurements."""
+        return self.pipeline.run(stream, smoothing_window=smoothing_window)
+
+    def __repr__(self) -> str:
+        return (
+            f"EIRES(query={self.query.name!r}, strategy={self.strategy.name}, "
+            f"policy={self.config.policy}, cache={self.config.cache_policy})"
+        )

@@ -1,0 +1,21 @@
+"""CEP engine: evaluation step, strategy interface, cost model."""
+
+from repro.engine.engine import GREEDY, NON_GREEDY, Engine
+from repro.engine.interface import (
+    POSTPONED,
+    CostModel,
+    EngineStats,
+    MatchRecord,
+    StrategyProtocol,
+)
+
+__all__ = [
+    "Engine",
+    "GREEDY",
+    "NON_GREEDY",
+    "POSTPONED",
+    "CostModel",
+    "EngineStats",
+    "MatchRecord",
+    "StrategyProtocol",
+]

@@ -1,0 +1,490 @@
+"""The CEP evaluation engine: the function ``f_Q`` of Eq. 1.
+
+Processing one input event against the current partial matches produces new
+partial matches and complete matches.  All work is charged against the
+virtual clock (see :class:`~repro.engine.interface.CostModel`), so detection
+latency is observable exactly as §2.2 defines it: the time between the
+arrival of the last event of a match and its detection, including queueing
+behind a busy engine and stalls on remote data.
+
+Selection policies (§2.1)
+-------------------------
+*Greedy* (skip-till-any-match): a matching input event splits a partial
+match — the extension and the unchanged original are both kept.
+*Non-greedy* (skip-till-next-match): a matching event extends the partial
+match in place; only non-matching events are skipped.
+
+When a remote predicate cannot be decided locally, the strategy may postpone
+it (§5.2).  Under the greedy policy the original is kept anyway and only the
+extension carries the obligation.  Under the non-greedy policy the engine
+cannot yet know whether the event should have been consumed, so it splits:
+the extension carries ``p`` and the retained original carries ``NOT p``;
+once the remote data decides ``p``, exactly one branch survives, keeping the
+match set identical to an engine that had the data all along.
+"""
+
+from __future__ import annotations
+
+from repro.engine.interface import (
+    POSTPONED,
+    CostModel,
+    EngineStats,
+    MatchRecord,
+    StrategyProtocol,
+)
+from repro.events.event import Event
+from repro.nfa.automaton import Automaton, Transition
+from repro.nfa.run import Obligation, Run
+from repro.sim.clock import VirtualClock
+
+__all__ = ["Engine", "GREEDY", "NON_GREEDY"]
+
+GREEDY = "greedy"
+NON_GREEDY = "non_greedy"
+
+_UNRESOLVED = "unresolved"
+_SATISFIED = "satisfied"
+_VIOLATED = "violated"
+
+
+class Engine:
+    """Automata-based pattern matcher with pluggable remote-data strategy."""
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        clock: VirtualClock,
+        cost_model: CostModel | None = None,
+        policy: str = GREEDY,
+        max_partial_matches: int | None = None,
+        expiry_interval: int = 16,
+    ) -> None:
+        if policy not in (GREEDY, NON_GREEDY):
+            raise ValueError(f"unknown selection policy {policy!r}")
+        if expiry_interval < 1:
+            raise ValueError(f"expiry interval must be >= 1: {expiry_interval}")
+        self._expiry_interval = expiry_interval
+        self.automaton = automaton
+        self.clock = clock
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.policy = policy
+        self.max_partial_matches = max_partial_matches
+        self.stats = EngineStats()
+        # Active partial matches, grouped by state index and — when the query
+        # correlates via SAME[attr] — by that attribute's value.  Partition
+        # indexing means an input event only visits runs it could actually
+        # extend; runs of other partitions are never touched (this is the
+        # standard partitioning optimisation of SASE-style engines).
+        self._partition_attr = automaton.partition_attr
+        self._runs: dict[int, dict[object, list[Run]]] = {}
+        self._active = 0
+        # Transitions indexed by (state index, event type) for fast dispatch.
+        self._dispatch: dict[tuple[int, str], list[Transition]] = {}
+        for transition in automaton.transitions:
+            key = (transition.source.index, transition.event_type)
+            self._dispatch.setdefault(key, []).append(transition)
+
+    # -- public surface ------------------------------------------------------
+    @property
+    def active_runs(self) -> int:
+        return self._active
+
+    def runs_per_state(self) -> dict[int, int]:
+        """Current number of partial matches per class (for #P_j monitoring)."""
+        return {
+            index: total
+            for index, buckets in self._runs.items()
+            if (total := sum(len(runs) for runs in buckets.values()))
+        }
+
+    def iter_runs(self):
+        for buckets in self._runs.values():
+            for runs in buckets.values():
+                yield from runs
+
+    def process_event(self, event: Event, strategy: StrategyProtocol) -> list[MatchRecord]:
+        """Advance the evaluation by one input event (the ``f_Q`` step)."""
+        clock = self.clock
+        cost = self.cost_model
+        clock.advance(cost.base_event_cost)
+        self.stats.events_processed += 1
+        # Expiry is lazy: _step_run drops expired runs it touches, and a full
+        # sweep every few events reclaims runs in states no event type hits.
+        if self.stats.events_processed % self._expiry_interval == 0:
+            self._expire(event, strategy)
+
+        matches: list[MatchRecord] = []
+        new_runs: list[Run] = []
+        event_type = event.event_type
+        partition = (
+            event.attrs.get(self._partition_attr) if self._partition_attr is not None else None
+        )
+
+        for state_index in list(self._runs):
+            transitions = self._dispatch.get((state_index, event_type))
+            if not transitions:
+                continue
+            buckets = self._runs[state_index]
+            runs = buckets.get(partition)
+            if not runs:
+                continue
+            survivors: list[Run] = []
+            for run in runs:
+                keep = self._step_run(run, transitions, event, strategy, new_runs, matches)
+                if keep:
+                    survivors.append(run)
+                else:
+                    self._active -= 1
+            if survivors:
+                buckets[partition] = survivors
+            else:
+                del buckets[partition]
+
+        # Fresh runs from the root: the input event may start a new match.
+        root_transitions = self._dispatch.get((0, event_type))
+        if root_transitions:
+            self._start_runs(root_transitions, event, strategy, new_runs, matches)
+
+        for run in new_runs:
+            self._add_run(run, strategy)
+        if self.max_partial_matches is not None:
+            self._shed(strategy)
+        if self._active > self.stats.peak_active_runs:
+            self.stats.peak_active_runs = self._active
+        self.stats.matches_emitted += len(matches)
+        return matches
+
+    def flush(self, strategy: StrategyProtocol) -> None:
+        """Drop all remaining partial matches (end of stream)."""
+        for run in list(self.iter_runs()):
+            strategy.on_run_dropped(run, "flushed")
+        self._runs.clear()
+        self._active = 0
+
+    # -- run lifecycle ---------------------------------------------------------
+    def _add_run(self, run: Run, strategy: StrategyProtocol) -> None:
+        partition = self._partition_of(run)
+        self._runs.setdefault(run.state.index, {}).setdefault(partition, []).append(run)
+        self._active += 1
+        self.stats.runs_created += 1
+        strategy.on_run_created(run)
+
+    def _partition_of(self, run: Run):
+        if self._partition_attr is None:
+            return None
+        # All bound events share the SAME attribute; read it off any of them.
+        event = next(iter(run.env.values()))
+        return event.attrs.get(self._partition_attr)
+
+    def _expire(self, event: Event, strategy: StrategyProtocol) -> None:
+        """Drop runs whose window can no longer admit the current event."""
+        window = self.automaton.window
+        for buckets in self._runs.values():
+            for partition in list(buckets):
+                runs = buckets[partition]
+                survivors = []
+                for run in runs:
+                    if window.admits(run.first_t, run.first_seq, event.t, event.seq):
+                        survivors.append(run)
+                    else:
+                        self.stats.runs_expired += 1
+                        self._active -= 1
+                        strategy.on_run_dropped(run, "expired")
+                if survivors:
+                    buckets[partition] = survivors
+                else:
+                    del buckets[partition]
+
+    def _shed(self, strategy: StrategyProtocol) -> None:
+        """Safety valve: drop oldest runs above the configured cap.
+
+        Disabled by default; experiments size their workloads so this never
+        triggers (`stats.shed_runs` proves it).
+        """
+        while self._active > self.max_partial_matches:
+            oldest: tuple[int, object] | None = None
+            oldest_seq = -1
+            for state_index, buckets in self._runs.items():
+                for partition, runs in buckets.items():
+                    if runs and (oldest is None or runs[0].first_seq < oldest_seq):
+                        oldest = (state_index, partition)
+                        oldest_seq = runs[0].first_seq
+            if oldest is None:
+                return
+            state_index, partition = oldest
+            runs = self._runs[state_index][partition]
+            run = runs.pop(0)
+            if not runs:
+                del self._runs[state_index][partition]
+            self._active -= 1
+            self.stats.shed_runs += 1
+            strategy.on_run_dropped(run, "shed")
+
+    # -- guard evaluation --------------------------------------------------------
+    def _step_run(
+        self,
+        run: Run,
+        transitions: list[Transition],
+        event: Event,
+        strategy: StrategyProtocol,
+        new_runs: list[Run],
+        matches: list[MatchRecord],
+    ) -> bool:
+        """Evaluate ``run`` against all type-matching transitions.
+
+        Returns whether the original run survives.
+        """
+        if not self.automaton.window.admits(run.first_t, run.first_seq, event.t, event.seq):
+            self.stats.runs_expired += 1
+            strategy.on_run_dropped(run, "expired")
+            return False
+        # First give pending obligations a chance to resolve cheaply: data
+        # may have arrived in the cache since the run was last touched.
+        if run.obligations:
+            status = self._check_obligations(run, strategy, blocking=False)
+            if status is _VIOLATED:
+                self.stats.runs_failed_obligation += 1
+                strategy.on_run_dropped(run, "obligation_failed")
+                return False
+
+        definite_extension = False
+        negated_groups: list[Obligation] = []
+        for transition in transitions:
+            outcome = self._try_transition(run, transition, event, strategy)
+            if outcome is None:
+                continue
+            extension, postponed = outcome
+            if postponed is None:
+                definite_extension = True
+            else:
+                negated_groups.append(
+                    Obligation(
+                        postponed.predicates,
+                        negated=True,
+                        issued_at=self.clock.now,
+                        env=postponed.env,
+                        origin=postponed.origin,
+                        ell_estimate=postponed.ell_estimate,
+                    )
+                )
+            self._admit_extension(extension, strategy, new_runs, matches)
+
+        if self.policy == GREEDY:
+            return True
+        # Non-greedy: a definite extension consumes the original; a
+        # conditional one splits (original survives under NOT(p)).
+        if definite_extension:
+            self.stats.runs_consumed += 1
+            strategy.on_run_dropped(run, "consumed")
+            return False
+        if negated_groups:
+            run.add_obligations(tuple(negated_groups))
+        return True
+
+    def _try_transition(
+        self,
+        run: Run,
+        transition: Transition,
+        event: Event,
+        strategy: StrategyProtocol,
+    ) -> tuple[Run, Obligation | None] | None:
+        """Attempt one guard; None on failure, else (extension, postponed).
+
+        ``postponed`` is the obligation attached to the extension when some
+        remote predicate was deferred, else None (a definite pass).
+        """
+        clock = self.clock
+        clock.advance(self.cost_model.per_guard_cost)
+        self.stats.guard_evaluations += 1
+
+        env = dict(run.env)
+        env[transition.binding] = event
+
+        local_ok = True
+        for predicate in transition.local_predicates:
+            clock.advance(predicate.eval_cost)
+            self.stats.predicate_evaluations += 1
+            if not predicate.evaluate(env, _no_remote):
+                local_ok = False
+                break
+        strategy.observe_guard(transition, local_ok)
+        if not local_ok:
+            return None
+
+        postponed_predicates = []
+        for predicate in transition.remote_predicates:
+            outcome = strategy.resolve_predicate(transition, predicate, run, env)
+            if outcome is POSTPONED:
+                postponed_predicates.append(predicate)
+                continue
+            self.stats.predicate_evaluations += 1
+            clock.advance(predicate.eval_cost)
+            if not outcome:
+                return None
+
+        obligation: Obligation | None = None
+        if postponed_predicates:
+            postponed_ell = getattr(strategy, "last_postpone_ell", 0.0)
+            obligation = Obligation(
+                tuple(postponed_predicates),
+                negated=False,
+                issued_at=clock.now,
+                env=env,
+                origin=transition,
+                ell_estimate=postponed_ell,
+            )
+        extension = run.extend(
+            transition,
+            event,
+            (obligation,) if obligation is not None else (),
+            created_at=clock.now,
+        )
+        return extension, obligation
+
+    def _start_runs(
+        self,
+        transitions: list[Transition],
+        event: Event,
+        strategy: StrategyProtocol,
+        new_runs: list[Run],
+        matches: list[MatchRecord],
+    ) -> None:
+        """Try to open a new partial match from the root state."""
+        for transition in transitions:
+            self.clock.advance(self.cost_model.per_guard_cost)
+            self.stats.guard_evaluations += 1
+            env = {transition.binding: event}
+            ok = True
+            for predicate in transition.local_predicates:
+                self.clock.advance(predicate.eval_cost)
+                self.stats.predicate_evaluations += 1
+                if not predicate.evaluate(env, _no_remote):
+                    ok = False
+                    break
+            strategy.observe_guard(transition, ok)
+            if not ok:
+                continue
+            postponed = []
+            failed = False
+            for predicate in transition.remote_predicates:
+                outcome = strategy.resolve_predicate(transition, predicate, None, env)
+                if outcome is POSTPONED:
+                    postponed.append(predicate)
+                    continue
+                self.stats.predicate_evaluations += 1
+                self.clock.advance(predicate.eval_cost)
+                if not outcome:
+                    failed = True
+                    break
+            if failed:
+                continue
+            run = Run.start(transition.target, transition.binding, event, created_at=self.clock.now)
+            if postponed:
+                run.add_obligations(
+                    (
+                        Obligation(
+                            tuple(postponed),
+                            negated=False,
+                            issued_at=self.clock.now,
+                            env=env,
+                            origin=transition,
+                        ),
+                    )
+                )
+            self._admit_extension(run, strategy, new_runs, matches)
+
+    # -- extensions, finals, obligations ------------------------------------------
+    def _admit_extension(
+        self,
+        extension: Run,
+        strategy: StrategyProtocol,
+        new_runs: list[Run],
+        matches: list[MatchRecord],
+    ) -> None:
+        """Route a freshly built extension: emit a match and/or keep it live."""
+        if extension.obligations and strategy.should_block_obligations(extension):
+            status = self._check_obligations(extension, strategy, blocking=True)
+            if status is _VIOLATED:
+                self.stats.runs_failed_obligation += 1
+                return
+
+        if extension.state.is_final:
+            self._emit(extension, strategy, matches)
+        if extension.state.transitions:
+            # Non-leaf final states keep matching longer alternatives.
+            new_runs.append(extension)
+
+    def _emit(self, run: Run, strategy: StrategyProtocol, matches: list[MatchRecord]) -> None:
+        """Resolve whatever is still pending, then emit the match."""
+        fetch_wait_before = getattr(strategy, "total_stall_time", 0.0)
+        if run.obligations:
+            status = self._check_obligations(run, strategy, blocking=True)
+            if status is _VIOLATED:
+                self.stats.matches_rejected += 1
+                return
+        last_event_t = max(event.t for event in run.env.values())
+        fetch_wait = getattr(strategy, "total_stall_time", 0.0) - fetch_wait_before
+        matches.append(
+            MatchRecord(
+                events=run.env,
+                last_event_t=last_event_t,
+                detected_at=self.clock.now,
+                fetch_wait=fetch_wait,
+            )
+        )
+
+    def _check_obligations(self, run: Run, strategy: StrategyProtocol, blocking: bool) -> str:
+        """Try to discharge the run's obligations.
+
+        Returns one of the module-level status strings.  Satisfied
+        obligations are removed from the run; an unresolved one is kept
+        (never under ``blocking=True``, where every predicate is decided).
+        """
+        blocking_round = blocking and bool(run.obligations)
+        if blocking_round:
+            # One concurrent fetch round for everything still missing: the
+            # stall is the max outstanding latency, not the sum (BL3, §7.2).
+            strategy.prepare_blocking(run)
+        try:
+            remaining: list[Obligation] = []
+            for obligation in run.obligations:
+                status = self._check_one_obligation(obligation, run, strategy, blocking)
+                if status is _VIOLATED:
+                    return _VIOLATED
+                if status is _UNRESOLVED:
+                    remaining.append(obligation)
+            run.obligations = tuple(remaining)
+            return _UNRESOLVED if remaining else _SATISFIED
+        finally:
+            if blocking_round:
+                strategy.finish_blocking()
+
+    def _check_one_obligation(
+        self, obligation: Obligation, run: Run, strategy: StrategyProtocol, blocking: bool
+    ) -> str:
+        self.stats.obligation_checks += 1
+        self.clock.advance(self.cost_model.per_obligation_cost)
+        env = obligation.env
+        any_unresolved = False
+        for predicate in obligation.predicates:
+            outcome = strategy.resolve_obligation_predicate(predicate, env, blocking)
+            if outcome is POSTPONED:
+                any_unresolved = True
+                continue
+            self.stats.predicate_evaluations += 1
+            self.clock.advance(predicate.eval_cost)
+            if outcome:
+                continue
+            # One predicate is definitely false: the group conjunction fails.
+            return _SATISFIED if obligation.negated else _VIOLATED
+        if any_unresolved:
+            return _UNRESOLVED
+        # All predicates resolved true.
+        return _VIOLATED if obligation.negated else _SATISFIED
+
+
+def _no_remote(key: tuple):
+    raise AssertionError(
+        f"local predicate attempted a remote lookup for {key!r}; "
+        "the compiler must have misclassified a predicate"
+    )

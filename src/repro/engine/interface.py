@@ -1,0 +1,168 @@
+"""Contracts between the CEP engine and the fetch strategies.
+
+The engine implements the evaluation function ``f_Q`` of Eq. 1; everything
+specific to §5's strategies (when to block, when to postpone, what to
+prefetch) is delegated through the :class:`StrategyProtocol`.  Keeping the
+boundary here avoids circular imports: both the engine and the strategy
+implementations depend only on this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol
+
+from repro.events.event import Event
+from repro.nfa.automaton import Transition
+from repro.nfa.run import Run
+from repro.query.predicates import Predicate
+
+__all__ = [
+    "POSTPONED",
+    "CostModel",
+    "MatchRecord",
+    "EngineStats",
+    "StrategyProtocol",
+]
+
+
+class _Postponed:
+    """Sentinel: a remote predicate's evaluation was deferred (§5.2)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<POSTPONED>"
+
+
+POSTPONED = _Postponed()
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs the engine charges while evaluating.
+
+    ``per_guard_cost`` is the paper's ``l_pm`` — the additional evaluation
+    latency per partial match (Eq. 8); the engine charges it for every
+    (run, transition) guard evaluation, so the overhead of extra partial
+    matches created by lazy evaluation is felt exactly where the cost model
+    predicts it.
+    """
+
+    base_event_cost: float = 0.2
+    per_guard_cost: float = 0.05
+    per_obligation_cost: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("base_event_cost", "per_guard_cost", "per_obligation_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class MatchRecord:
+    """One complete match, with its latency decomposition."""
+
+    __slots__ = ("events", "last_event_t", "detected_at", "fetch_wait")
+
+    def __init__(
+        self,
+        events: Mapping[str, Event],
+        last_event_t: float,
+        detected_at: float,
+        fetch_wait: float = 0.0,
+    ) -> None:
+        self.events = dict(events)
+        self.last_event_t = last_event_t
+        self.detected_at = detected_at
+        self.fetch_wait = fetch_wait
+
+    @property
+    def latency(self) -> float:
+        """Detection latency: last-event arrival to match detection (§2.2)."""
+        return self.detected_at - self.last_event_t
+
+    def signature(self) -> tuple:
+        """Canonical identity of the match, for cross-strategy comparison."""
+        return tuple(sorted((binding, event.seq) for binding, event in self.events.items()))
+
+    def __repr__(self) -> str:
+        bound = ",".join(f"{b}:{e.seq}" for b, e in sorted(self.events.items()))
+        return f"MatchRecord([{bound}], latency={self.latency:.1f}us)"
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine run."""
+
+    events_processed: int = 0
+    guard_evaluations: int = 0
+    predicate_evaluations: int = 0
+    obligation_checks: int = 0
+    runs_created: int = 0
+    runs_expired: int = 0
+    runs_consumed: int = 0
+    runs_failed_obligation: int = 0
+    matches_emitted: int = 0
+    matches_rejected: int = 0
+    peak_active_runs: int = 0
+    shed_runs: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        data = {
+            name: getattr(self, name)
+            for name in (
+                "events_processed",
+                "guard_evaluations",
+                "predicate_evaluations",
+                "obligation_checks",
+                "runs_created",
+                "runs_expired",
+                "runs_consumed",
+                "runs_failed_obligation",
+                "matches_emitted",
+                "matches_rejected",
+                "peak_active_runs",
+                "shed_runs",
+            )
+        }
+        data.update(self.extra)
+        return data
+
+
+class StrategyProtocol(Protocol):
+    """What the engine requires of a fetch strategy.
+
+    Implementations live in :mod:`repro.strategies`; see
+    :class:`repro.strategies.base.FetchStrategy` for the shared behaviour.
+    """
+
+    name: str
+
+    def resolve_predicate(
+        self, transition: Transition, predicate: Predicate, run: Run, env: Mapping[str, Event]
+    ) -> Any:
+        """Evaluate a remote predicate: ``bool`` outcome or ``POSTPONED``."""
+
+    def resolve_obligation_predicate(
+        self, predicate: Predicate, env: Mapping[str, Event], blocking: bool
+    ) -> Any:
+        """Re-evaluate a postponed predicate; ``POSTPONED`` if still missing
+        and ``blocking`` is False."""
+
+    def should_block_obligations(self, run: Run) -> bool:
+        """Whether a newly extended run's pending obligations must be
+        resolved now rather than carried further (Alg. 4 line 15)."""
+
+    def prepare_blocking(self, run: Run) -> None:
+        """Stage one concurrent fetch round for a blocking resolution."""
+
+    def finish_blocking(self) -> None:
+        """Drop values staged by :meth:`prepare_blocking`."""
+
+    def on_run_created(self, run: Run) -> None:
+        """A partial match was created or extended (utility bookkeeping)."""
+
+    def on_run_dropped(self, run: Run, reason: str) -> None:
+        """A partial match left the system (expired/consumed/failed/matched)."""
+
+    def observe_guard(self, transition: Transition, passed: bool) -> None:
+        """A (run, transition) local guard was evaluated (rate monitoring)."""

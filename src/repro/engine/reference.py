@@ -1,0 +1,144 @@
+"""Oracle reference matcher for validating the engine.
+
+This module re-derives the query semantics of §2.1 *without* any of the
+machinery the engine uses — no strategies, no obligations, no virtual time.
+Remote data is resolved directly against the store (an oracle with zero
+latency), and matches are enumerated:
+
+* **greedy** (skip-till-any-match): exhaustive depth-first enumeration of
+  all order-preserving event combinations that satisfy the guards and the
+  window;
+* **non-greedy** (skip-till-next-match): a forward simulation where each
+  partial match is extended by the next satisfying event and only
+  non-satisfying events are skipped.
+
+The integration tests assert that every strategy, under either policy,
+produces exactly the match sets computed here — i.e. that prefetching,
+postponement, and obligation splitting never change *what* is detected,
+only *when*.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.events.event import Event
+from repro.events.stream import Stream
+from repro.nfa.automaton import Automaton, State, Transition
+from repro.remote.store import RemoteStore
+
+__all__ = ["reference_match_signatures"]
+
+
+def reference_match_signatures(
+    automaton: Automaton, stream: Stream, store: RemoteStore, policy: str
+) -> set[tuple]:
+    """All match signatures of ``automaton`` over ``stream`` under ``policy``.
+
+    A signature is the canonical ``((binding, seq), ...)`` tuple that
+    :meth:`repro.engine.interface.MatchRecord.signature` produces.
+    """
+    if policy == "greedy":
+        return _greedy_matches(automaton, stream, store)
+    if policy == "non_greedy":
+        return _non_greedy_matches(automaton, stream, store)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def _oracle(store: RemoteStore):
+    def resolver(key):
+        return store.lookup(key).value
+
+    return resolver
+
+
+def _guard_passes(
+    transition: Transition, env: Mapping[str, Event], event: Event, resolver
+) -> bool:
+    if event.event_type != transition.event_type:
+        return False
+    candidate = dict(env)
+    candidate[transition.binding] = event
+    for predicate in transition.local_predicates + transition.remote_predicates:
+        if not predicate.evaluate(candidate, resolver):
+            return False
+    return True
+
+
+def _greedy_matches(automaton: Automaton, stream: Stream, store: RemoteStore) -> set[tuple]:
+    resolver = _oracle(store)
+    events = list(stream)
+    window = automaton.window
+    matches: set[tuple] = set()
+
+    def extend(state: State, env: dict, first: Event, next_index: int) -> None:
+        if state.is_final:
+            matches.add(tuple(sorted((b, e.seq) for b, e in env.items())))
+        if not state.transitions:
+            return
+        for index in range(next_index, len(events)):
+            event = events[index]
+            if not window.admits(first.t, first.seq, event.t, event.seq):
+                break
+            for transition in state.transitions:
+                if _guard_passes(transition, env, event, resolver):
+                    child_env = dict(env)
+                    child_env[transition.binding] = event
+                    extend(transition.target, child_env, first, index + 1)
+
+    for start_index, event in enumerate(events):
+        for transition in automaton.root.transitions:
+            if _guard_passes(transition, {}, event, resolver):
+                extend(
+                    transition.target,
+                    {transition.binding: event},
+                    event,
+                    start_index + 1,
+                )
+    return matches
+
+
+class _SimRun:
+    __slots__ = ("state", "env", "first")
+
+    def __init__(self, state: State, env: dict, first: Event) -> None:
+        self.state = state
+        self.env = env
+        self.first = first
+
+
+def _non_greedy_matches(automaton: Automaton, stream: Stream, store: RemoteStore) -> set[tuple]:
+    resolver = _oracle(store)
+    window = automaton.window
+    matches: set[tuple] = set()
+    runs: list[_SimRun] = []
+
+    for event in stream:
+        survivors: list[_SimRun] = []
+        created: list[_SimRun] = []
+        for run in runs:
+            if not window.admits(run.first.t, run.first.seq, event.t, event.seq):
+                continue
+            consumed = False
+            for transition in run.state.transitions:
+                if _guard_passes(transition, run.env, event, resolver):
+                    consumed = True
+                    child_env = dict(run.env)
+                    child_env[transition.binding] = event
+                    child = _SimRun(transition.target, child_env, run.first)
+                    if child.state.is_final:
+                        matches.add(tuple(sorted((b, e.seq) for b, e in child_env.items())))
+                    if child.state.transitions:
+                        created.append(child)
+            if not consumed:
+                survivors.append(run)
+        for transition in automaton.root.transitions:
+            if _guard_passes(transition, {}, event, resolver):
+                child_env = {transition.binding: event}
+                child = _SimRun(transition.target, child_env, event)
+                if child.state.is_final:
+                    matches.add(tuple(sorted((b, e.seq) for b, e in child_env.items())))
+                if child.state.transitions:
+                    created.append(child)
+        runs = survivors + created
+    return matches

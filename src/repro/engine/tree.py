@@ -1,0 +1,316 @@
+"""Tree-based execution backend (the paper's §9 future work).
+
+The paper closes by proposing to instantiate EIRES for *tree-based execution
+models* [ZStream, Mei & Madden 2009] "that define an order of operator
+evaluation and a hierarchy of buffers", expecting the automata results to
+carry over.  :class:`TreeEngine` is that instantiation for linear sequence
+queries:
+
+* each sequence position keeps a **buffer** of events that passed the
+  position's single-binding predicates (partition-indexed under
+  ``SAME[attr]``, window-pruned);
+* when an event completes the *last* position, candidate matches are
+  enumerated by joining right-to-left through the buffers, applying each
+  multi-binding predicate as soon as its bindings are available;
+* remote predicates go through the same
+  :class:`~repro.strategies.base.FetchStrategy` objects as the automaton
+  engine: blocking strategies stall at join time, postponing strategies
+  (BL3 / LzEval / Hybrid) defer the predicate to emission, where one
+  concurrent fetch round resolves everything outstanding;
+* prefetching strategies are triggered on *buffer insertion* — the tree
+  analogue of "a partial match reached the lookahead class": once an event
+  carrying a reference key is buffered, its future use is anticipated.
+
+Scope: linear ``SEQ`` patterns (no OR) under the greedy
+(skip-till-any-match) policy — the natural semantics of buffered join trees,
+which enumerate every combination.  The equivalence tests assert that the
+tree backend detects exactly the matches of the automaton engine and of the
+oracle reference.
+"""
+
+from __future__ import annotations
+
+from repro.engine.interface import (
+    POSTPONED,
+    CostModel,
+    EngineStats,
+    MatchRecord,
+    StrategyProtocol,
+)
+from repro.events.event import Event
+from repro.nfa.automaton import Automaton, Transition
+from repro.query.predicates import Predicate
+from repro.sim.clock import VirtualClock
+
+__all__ = ["TreeEngine"]
+
+
+class _Position:
+    """One sequence position: its transition and the buffered events."""
+
+    __slots__ = ("index", "transition", "binding", "event_type", "local_single", "buffers")
+
+    def __init__(self, index: int, transition: Transition) -> None:
+        self.index = index
+        self.transition = transition
+        self.binding = transition.binding
+        self.event_type = transition.event_type
+        # Predicates that only read this position's own binding are applied
+        # at insertion; everything else waits for the join.
+        self.local_single = tuple(
+            predicate
+            for predicate in transition.local_predicates
+            if predicate.bindings() <= {transition.binding}
+        )
+        # partition value -> list of events (None partition when unkeyed).
+        self.buffers: dict[object, list[Event]] = {}
+
+
+class TreeEngine:
+    """Buffered join-tree evaluation of a linear sequence query."""
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        clock: VirtualClock,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        chain = self._linear_chain(automaton)
+        self.automaton = automaton
+        self.clock = clock
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.stats = EngineStats()
+        self._positions = [_Position(i, transition) for i, transition in enumerate(chain)]
+        self._partition_attr = automaton.partition_attr
+        # Joining proceeds right-to-left, so a predicate becomes checkable
+        # once the *leftmost* of its bindings is bound: anchor each predicate
+        # (and each remote predicate) at that position.
+        binding_position = {p.binding: p.index for p in self._positions}
+        self._join_predicates: dict[int, list[Predicate]] = {p.index: [] for p in self._positions}
+        self._remote_predicates: dict[int, list[tuple[Transition, Predicate]]] = {
+            p.index: [] for p in self._positions
+        }
+        for position in self._positions:
+            transition = position.transition
+            for predicate in transition.local_predicates:
+                if predicate.bindings() <= {position.binding}:
+                    continue
+                anchor = min(binding_position[b] for b in predicate.bindings())
+                self._join_predicates[anchor].append(predicate)
+            for predicate in transition.remote_predicates:
+                bindings = predicate.bindings()
+                anchor = min(binding_position[b] for b in bindings) if bindings else 0
+                self._remote_predicates[anchor].append((transition, predicate))
+
+    @staticmethod
+    def _linear_chain(automaton: Automaton) -> list[Transition]:
+        chain: list[Transition] = []
+        state = automaton.root
+        while state.transitions:
+            if len(state.transitions) != 1:
+                raise ValueError(
+                    "the tree backend supports linear SEQ queries only; "
+                    f"state {state.name} branches ({len(state.transitions)} transitions)"
+                )
+            transition = state.transitions[0]
+            chain.append(transition)
+            state = transition.target
+        if not state.is_final:
+            raise ValueError("query chain does not end in a final state")
+        return chain
+
+    # -- engine interface (same shape as repro.engine.engine.Engine) ----------
+    @property
+    def active_runs(self) -> int:
+        return sum(
+            len(events) for position in self._positions for events in position.buffers.values()
+        )
+
+    def runs_per_state(self) -> dict[int, int]:
+        """Buffer sizes per position (consumed by the strategies' #P ticks)."""
+        return {
+            position.index + 1: sum(len(events) for events in position.buffers.values())
+            for position in self._positions
+        }
+
+    def flush(self, strategy: StrategyProtocol) -> None:
+        for position in self._positions:
+            position.buffers.clear()
+
+    def process_event(self, event: Event, strategy: StrategyProtocol) -> list[MatchRecord]:
+        clock = self.clock
+        clock.advance(self.cost_model.base_event_cost)
+        self.stats.events_processed += 1
+        partition = (
+            event.attrs.get(self._partition_attr) if self._partition_attr is not None else None
+        )
+        matches: list[MatchRecord] = []
+        for position in self._positions:
+            if position.event_type != event.event_type:
+                continue
+            if not self._passes_single(position, event):
+                continue
+            if position.index < len(self._positions) - 1:
+                self._insert(position, partition, event, strategy)
+            else:
+                # The final position joins instead of buffering (its events
+                # can never be extended further).
+                self._join(partition, event, strategy, matches)
+        if self.active_runs > self.stats.peak_active_runs:
+            self.stats.peak_active_runs = self.active_runs
+        self.stats.matches_emitted += len(matches)
+        return matches
+
+    # -- buffering ---------------------------------------------------------------
+    def _passes_single(self, position: _Position, event: Event) -> bool:
+        self.stats.guard_evaluations += 1
+        self.clock.advance(self.cost_model.per_guard_cost)
+        env = {position.binding: event}
+        for predicate in position.local_single:
+            self.stats.predicate_evaluations += 1
+            self.clock.advance(predicate.eval_cost)
+            if not predicate.evaluate(env, _no_remote):
+                return False
+        return True
+
+    def _insert(
+        self, position: _Position, partition, event: Event, strategy: StrategyProtocol
+    ) -> None:
+        buffer = position.buffers.setdefault(partition, [])
+        buffer.append(event)
+        self.stats.runs_created += 1
+        # Tree-model prefetch trigger: an inserted event whose payload keys a
+        # remote reference anticipates that reference's use at join time.
+        issue = getattr(strategy, "issue_prefetch", None)
+        if issue is not None:
+            for site in self.automaton.sites:
+                if site.ref.key_binding == position.binding:
+                    issue(site, site.ref.concrete_key({position.binding: event}))
+
+    def _prune(self, buffer: list[Event], final_event: Event) -> None:
+        window = self.automaton.window
+        while buffer and not window.admits(
+            buffer[0].t, buffer[0].seq, final_event.t, final_event.seq
+        ):
+            buffer.pop(0)
+            self.stats.runs_expired += 1
+
+    # -- joining --------------------------------------------------------------------
+    def _join(
+        self,
+        partition,
+        final_event: Event,
+        strategy: StrategyProtocol,
+        matches: list[MatchRecord],
+    ) -> None:
+        last_index = len(self._positions) - 1
+        env = {self._positions[last_index].binding: final_event}
+        deferred: list[tuple[Transition, Predicate]] = []
+        if not self._apply_anchored(last_index, env, strategy, deferred):
+            return
+        self._descend(last_index - 1, partition, final_event, env, strategy, deferred, matches)
+
+    def _descend(
+        self,
+        index: int,
+        partition,
+        final_event: Event,
+        env: dict,
+        strategy: StrategyProtocol,
+        deferred: list[tuple[Transition, Predicate]],
+        matches: list[MatchRecord],
+    ) -> None:
+        if index < 0:
+            self._emit(env, final_event, strategy, deferred, matches)
+            return
+        position = self._positions[index]
+        successor_binding = self._positions[index + 1].binding
+        bound_successor = env[successor_binding]
+        buffer = position.buffers.get(partition)
+        if not buffer:
+            return
+        self._prune(buffer, final_event)
+        for event in buffer:
+            if event.seq >= bound_successor.seq:
+                break  # buffers are seq-ordered; order preservation fails
+            self.stats.guard_evaluations += 1
+            self.clock.advance(self.cost_model.per_guard_cost)
+            env[position.binding] = event
+            local_deferred = list(deferred)
+            if self._apply_anchored(index, env, strategy, local_deferred):
+                self._descend(
+                    index - 1, partition, final_event, env, strategy, local_deferred, matches
+                )
+        env.pop(position.binding, None)
+
+    def _apply_anchored(
+        self,
+        index: int,
+        env: dict,
+        strategy: StrategyProtocol,
+        deferred: list[tuple[Transition, Predicate]],
+    ) -> bool:
+        """Evaluate the predicates that became checkable at ``index``."""
+        for predicate in self._join_predicates[index]:
+            self.stats.predicate_evaluations += 1
+            self.clock.advance(predicate.eval_cost)
+            if not predicate.evaluate(env, _no_remote):
+                return False
+        for transition, predicate in self._remote_predicates[index]:
+            outcome = strategy.resolve_predicate(transition, predicate, None, env)
+            if outcome is POSTPONED:
+                deferred.append((transition, predicate))
+                continue
+            self.stats.predicate_evaluations += 1
+            self.clock.advance(predicate.eval_cost)
+            if not outcome:
+                return False
+        return True
+
+    def _emit(
+        self,
+        env: dict,
+        final_event: Event,
+        strategy: StrategyProtocol,
+        deferred: list[tuple[Transition, Predicate]],
+        matches: list[MatchRecord],
+    ) -> None:
+        snapshot = dict(env)
+        if deferred:
+            # One concurrent round for everything this candidate still needs.
+            missing: list = []
+            seen = set()
+            for _transition, predicate in deferred:
+                for key in predicate.remote_keys(snapshot):
+                    if key not in seen and not strategy._available(key):
+                        seen.add(key)
+                        missing.append(key)
+            staged = strategy._block_for(missing) if missing else {}
+            try:
+                strategy._staged.update(staged)
+                for _transition, predicate in deferred:
+                    self.stats.obligation_checks += 1
+                    self.clock.advance(self.cost_model.per_obligation_cost)
+                    outcome = strategy.resolve_obligation_predicate(
+                        predicate, snapshot, blocking=True
+                    )
+                    self.stats.predicate_evaluations += 1
+                    self.clock.advance(predicate.eval_cost)
+                    if not outcome:
+                        self.stats.matches_rejected += 1
+                        return
+            finally:
+                strategy.finish_blocking()
+        matches.append(
+            MatchRecord(
+                events=snapshot,
+                last_event_t=final_event.t,
+                detected_at=self.clock.now,
+            )
+        )
+
+
+def _no_remote(key):
+    raise AssertionError(
+        f"local predicate attempted a remote lookup for {key!r} in the tree backend"
+    )

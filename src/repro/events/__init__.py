@@ -1,0 +1,24 @@
+"""Event model, streams, and arrival processes."""
+
+from repro.events.event import TYPE_ATTRIBUTE, Event, EventSchema
+from repro.events.generators import (
+    ArrivalProcess,
+    FixedArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    generate_stream,
+)
+from repro.events.stream import Stream, merge_streams
+
+__all__ = [
+    "Event",
+    "EventSchema",
+    "TYPE_ATTRIBUTE",
+    "Stream",
+    "merge_streams",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "FixedArrivals",
+    "UniformArrivals",
+    "generate_stream",
+]

@@ -1,0 +1,139 @@
+"""Relational event model (§2.1 of the paper).
+
+An event is an instantaneous, unique, atomic occurrence with a payload that
+instantiates a fixed schema ``A = <A1, ..., An>`` and a timestamp drawn from a
+discrete, totally ordered domain.  Following the paper, all events of a
+stream share one schema; different *types* of events (the ``T``/``D``/``L``
+of the fraud query, or ``A``--``D`` of the synthetic workload) are encoded as
+predicates over a distinguished ``type`` attribute.
+
+Timestamps are virtual microseconds (see :mod:`repro.sim.clock`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+__all__ = ["Event", "EventSchema", "TYPE_ATTRIBUTE"]
+
+TYPE_ATTRIBUTE = "type"
+
+_PRIMITIVES: dict[str, type] = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+}
+
+
+class EventSchema:
+    """An ordered sequence of named, primitively typed attributes.
+
+    >>> schema = EventSchema([("type", "str"), ("id", "int"), ("v1", "int")])
+    >>> schema.attribute_names
+    ('type', 'id', 'v1')
+    """
+
+    __slots__ = ("_attributes", "_types")
+
+    def __init__(self, attributes: list[tuple[str, str]]) -> None:
+        if not attributes:
+            raise ValueError("an event schema needs at least one attribute")
+        names = [name for name, _ in attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        for name, type_name in attributes:
+            if type_name not in _PRIMITIVES:
+                raise ValueError(
+                    f"attribute {name!r} has non-primitive type {type_name!r}; "
+                    f"expected one of {sorted(_PRIMITIVES)}"
+                )
+        self._attributes = tuple(attributes)
+        self._types = {name: _PRIMITIVES[type_name] for name, type_name in attributes}
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self._attributes)
+
+    @property
+    def attributes(self) -> tuple[tuple[str, str], ...]:
+        return self._attributes
+
+    def validate(self, payload: Mapping[str, Any]) -> None:
+        """Raise ``ValueError`` if ``payload`` does not instantiate the schema.
+
+        Numeric widening (``int`` where ``float`` is declared) is accepted,
+        matching common relational practice.
+        """
+        for name, expected in self._types.items():
+            if name not in payload:
+                raise ValueError(f"payload missing attribute {name!r}")
+            value = payload[name]
+            if expected is float and isinstance(value, int):
+                continue
+            if not isinstance(value, expected):
+                raise ValueError(
+                    f"attribute {name!r} expected {expected.__name__}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+        extra = set(payload) - set(self._types)
+        if extra:
+            raise ValueError(f"payload has attributes outside the schema: {sorted(extra)}")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EventSchema) and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n}:{t}" for n, t in self._attributes)
+        return f"EventSchema({fields})"
+
+
+class Event:
+    """A single stream event: payload ``attrs``, timestamp ``t``, index ``seq``.
+
+    ``seq`` is the position of the event in its stream (the ``k`` of the
+    paper's ``S(..k)`` prefixes); it doubles as a total order among events
+    with equal timestamps and powers count-based windows (Q2's ``WITHIN
+    50K``).
+    """
+
+    __slots__ = ("t", "seq", "attrs")
+
+    def __init__(self, t: float, attrs: Mapping[str, Any], seq: int = -1) -> None:
+        if t < 0:
+            raise ValueError(f"event timestamp must be non-negative: {t}")
+        self.t = float(t)
+        self.seq = seq
+        self.attrs = dict(attrs)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.attrs[name]
+        except KeyError:
+            raise KeyError(f"event has no attribute {name!r}; has {sorted(self.attrs)}") from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.attrs.get(name, default)
+
+    @property
+    def event_type(self) -> Any:
+        """The distinguished ``type`` attribute, or ``None`` if absent."""
+        return self.attrs.get(TYPE_ATTRIBUTE)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attrs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.t == other.t and self.seq == other.seq and self.attrs == other.attrs
+
+    def __hash__(self) -> int:
+        return hash((self.t, self.seq))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.attrs.items())
+        return f"Event(t={self.t:.1f}, seq={self.seq}, {inner})"

@@ -1,0 +1,138 @@
+"""Stream (de)serialisation: replay recorded traces, persist generated ones.
+
+Two line-oriented formats are supported:
+
+* **JSONL** — one JSON object per line; the timestamp lives under a
+  configurable key (default ``"t"``, microseconds) and every other key
+  becomes a payload attribute.  Nested values are kept as-is, so tuple-like
+  payloads survive a round trip as lists.
+* **CSV** — a header row; one column (default ``"t"``) is the timestamp and
+  the remaining columns are payload attributes.  Values are parsed as int,
+  then float, then kept as strings — CSV carries no type information.
+
+Both readers sort by timestamp if asked (``assume_sorted=False``) and
+otherwise validate ordering, because an out-of-order trace would silently
+break window semantics.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.events.event import Event
+from repro.events.stream import Stream
+
+__all__ = ["read_jsonl", "write_jsonl", "read_csv", "write_csv"]
+
+
+def read_jsonl(
+    path: str | Path,
+    timestamp_key: str = "t",
+    assume_sorted: bool = True,
+) -> Stream:
+    """Load a stream from a JSON-lines trace file."""
+    events = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {error}") from None
+            if timestamp_key not in record:
+                raise ValueError(
+                    f"{path}:{line_number}: record lacks timestamp key {timestamp_key!r}"
+                )
+            timestamp = float(record.pop(timestamp_key))
+            events.append(Event(timestamp, record))
+    if not assume_sorted:
+        events.sort(key=lambda event: event.t)
+    return Stream(events)
+
+
+def write_jsonl(stream: Stream, path: str | Path, timestamp_key: str = "t") -> None:
+    """Persist a stream as JSON lines (inverse of :func:`read_jsonl`)."""
+    with open(path, "w") as handle:
+        for event in stream:
+            record = {timestamp_key: event.t}
+            for key, value in event.attrs.items():
+                if key == timestamp_key:
+                    raise ValueError(
+                        f"payload attribute {key!r} collides with the timestamp key"
+                    )
+                record[key] = value
+            handle.write(json.dumps(record, default=_jsonify) + "\n")
+
+
+def _jsonify(value):
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    raise TypeError(f"cannot serialise {type(value).__name__} payload value: {value!r}")
+
+
+def _parse_cell(text: str):
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    return text
+
+
+def read_csv(
+    path: str | Path,
+    timestamp_column: str = "t",
+    assume_sorted: bool = True,
+) -> Stream:
+    """Load a stream from a CSV trace with a header row."""
+    events = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or timestamp_column not in reader.fieldnames:
+            raise ValueError(
+                f"{path}: CSV header must include the timestamp column {timestamp_column!r}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            timestamp = float(row.pop(timestamp_column))
+            events.append(Event(timestamp, {k: _parse_cell(v) for k, v in row.items()}))
+    if not assume_sorted:
+        events.sort(key=lambda event: event.t)
+    return Stream(events)
+
+
+def write_csv(stream: Stream, path: str | Path, timestamp_column: str = "t") -> None:
+    """Persist a stream as CSV (attribute set must be uniform)."""
+    events = list(stream)
+    if not events:
+        with open(path, "w", newline="") as handle:
+            csv.writer(handle).writerow([timestamp_column])
+        return
+    columns = list(events[0].attrs)
+    for event in events:
+        if list(event.attrs) != columns:
+            raise ValueError(
+                "CSV export needs a uniform schema; "
+                f"event at t={event.t} differs from the first event's attributes"
+            )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([timestamp_column] + columns)
+        for event in events:
+            writer.writerow([event.t] + [event.attrs[column] for column in columns])
+
+
+def events_from_dicts(records: Iterable[dict], timestamp_key: str = "t") -> Stream:
+    """Build a stream from in-memory dicts (convenience for adapters)."""
+    events = []
+    for record in records:
+        payload = dict(record)
+        timestamp = float(payload.pop(timestamp_key))
+        events.append(Event(timestamp, payload))
+    return Stream(events)

@@ -1,0 +1,85 @@
+"""Plain-text result tables in the shape of the paper's figures.
+
+Each evaluation figure boils down to "latency percentiles (or throughput)
+per strategy, per configuration"; :func:`format_table` renders exactly that,
+and :func:`format_comparison` adds the paper-style speedup factors
+("Hybrid reduces the median latency by N x vs BL1").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_comparison", "speedups"]
+
+
+def format_table(
+    title: str,
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` (dicts) as an aligned text table with a title rule."""
+    header = [str(column) for column in columns]
+    rendered: list[list[str]] = [header]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(header))]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    for index, cells in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(cells, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def speedups(
+    rows: Sequence[Mapping[str, Any]],
+    metric: str,
+    subject: str = "Hybrid",
+    strategy_key: str = "strategy",
+    higher_is_better: bool = False,
+) -> dict[str, float]:
+    """Improvement factor of ``subject`` over each other strategy.
+
+    For latency-like metrics (default) this is ``baseline / subject``; for
+    throughput-like metrics pass ``higher_is_better=True`` to get
+    ``subject / baseline``.  Values > 1 always mean the subject wins.  Rows
+    missing the metric (or zero-valued denominators) are skipped.
+    """
+    by_name = {row[strategy_key]: row for row in rows if metric in row}
+    if subject not in by_name:
+        return {}
+    subject_value = by_name[subject][metric]
+    factors = {}
+    for name, row in by_name.items():
+        if name == subject:
+            continue
+        baseline_value = row[metric]
+        if higher_is_better:
+            if baseline_value:
+                factors[name] = subject_value / baseline_value
+        elif subject_value:
+            factors[name] = baseline_value / subject_value
+    return factors
+
+
+def format_comparison(
+    rows: Sequence[Mapping[str, Any]],
+    metric: str = "p50",
+    subject: str = "Hybrid",
+    higher_is_better: bool = False,
+) -> str:
+    """One-line summary of subject-vs-baseline improvement factors."""
+    factors = speedups(rows, metric, subject=subject, higher_is_better=higher_is_better)
+    if not factors:
+        return f"(no {metric} comparison available)"
+    parts = [f"{name}: {factor:.1f}x" for name, factor in sorted(factors.items())]
+    return f"{subject} {metric} improvement - " + ", ".join(parts)

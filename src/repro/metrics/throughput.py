@@ -1,0 +1,43 @@
+"""Throughput measurement: events processed per (virtual) second (Fig. 7)."""
+
+from __future__ import annotations
+
+__all__ = ["ThroughputMeter"]
+
+_US_PER_SECOND = 1_000_000.0
+
+
+class ThroughputMeter:
+    """Tracks events processed against elapsed virtual time."""
+
+    def __init__(self) -> None:
+        self._events = 0
+        self._start: float | None = None
+        self._end: float | None = None
+
+    def record_event(self, completed_at: float) -> None:
+        """Note that one input event finished processing at ``completed_at``."""
+        if self._start is None:
+            self._start = completed_at
+        self._end = completed_at
+        self._events += 1
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    @property
+    def elapsed_us(self) -> float:
+        if self._start is None or self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def events_per_second(self) -> float:
+        """Virtual-time throughput; 0.0 until two events have been seen."""
+        elapsed = self.elapsed_us
+        if elapsed <= 0:
+            return 0.0
+        return (self._events - 1) / elapsed * _US_PER_SECOND
+
+    def __repr__(self) -> str:
+        return f"ThroughputMeter({self._events} events, {self.events_per_second():.0f} ev/s)"

@@ -1,0 +1,15 @@
+"""Automaton model: states, transitions, remote sites, runs, compiler."""
+
+from repro.nfa.automaton import Automaton, RemoteSite, State, Transition
+from repro.nfa.compiler import compile_query
+from repro.nfa.run import Obligation, Run
+
+__all__ = [
+    "Automaton",
+    "State",
+    "Transition",
+    "RemoteSite",
+    "Run",
+    "Obligation",
+    "compile_query",
+]

@@ -1,0 +1,40 @@
+"""Query layer: AST, predicates, parser, errors."""
+
+from repro.query.ast import EventAtom, OrPattern, Pattern, Query, SeqPattern, Window
+from repro.query.errors import CompileError, ParseError, QueryError, RemoteDataUnavailable
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.predicates import (
+    Attr,
+    Comparison,
+    Const,
+    Expr,
+    FunctionPredicate,
+    Membership,
+    Predicate,
+    RemoteRef,
+    SameAttribute,
+)
+
+__all__ = [
+    "Query",
+    "Pattern",
+    "EventAtom",
+    "SeqPattern",
+    "OrPattern",
+    "Window",
+    "parse_query",
+    "parse_pattern",
+    "QueryError",
+    "ParseError",
+    "CompileError",
+    "RemoteDataUnavailable",
+    "Expr",
+    "Attr",
+    "Const",
+    "RemoteRef",
+    "Predicate",
+    "Comparison",
+    "Membership",
+    "FunctionPredicate",
+    "SameAttribute",
+]

@@ -1,0 +1,36 @@
+"""Exceptions raised by the query layer."""
+
+from __future__ import annotations
+
+__all__ = ["QueryError", "ParseError", "CompileError", "RemoteDataUnavailable"]
+
+
+class QueryError(Exception):
+    """Base class for query-related failures."""
+
+
+class ParseError(QueryError):
+    """The query text does not conform to the pattern language grammar."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class CompileError(QueryError):
+    """The query AST cannot be compiled into an automaton."""
+
+
+class RemoteDataUnavailable(QueryError):
+    """A predicate referenced remote data that is not locally available.
+
+    Raised by expression evaluation when the resolver cannot supply a value;
+    the engine catches it and lets the active fetch strategy decide whether
+    to block or postpone (§5).
+    """
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        super().__init__(f"remote data element {key!r} not available locally")

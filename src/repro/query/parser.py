@@ -1,0 +1,271 @@
+"""Parser for the SASE-style pattern language used in the paper's listings.
+
+The grammar covers Listing 1 and Listing 2 verbatim (modulo whitespace)::
+
+    query    :=  or_expr [ "WHERE" conjunction ] [ "WITHIN" window ]
+    seq      :=  "SEQ" "(" or_expr ("," or_expr)* ")"
+    operand  :=  TYPE BINDING  |  seq  |  "(" or_expr ")"
+    or_expr  :=  operand ("OR" operand)*
+    conj     :=  predicate ("AND" predicate)*
+    predicate:=  "SAME" "[" IDENT "]"
+              |  expr ["NOT"] "IN" expr
+              |  expr cmp expr                    cmp in  = <> != < <= > >=
+    expr     :=  NUMBER  |  STRING  |  IDENT "." IDENT
+              |  "REMOTE" ["<" IDENT ">"] "[" IDENT "." IDENT "]"
+    window   :=  NUMBER [unit]      unit in  us ms s sec min h | EVENTS
+
+Conventions:
+
+* numbers accept ``k``/``K`` (x1000) and ``M`` (x1e6) suffixes, so Listing
+  1's ``10k`` parses as 10000;
+* a window with a time unit is a time window in virtual microseconds; a bare
+  number or an ``EVENTS`` unit is a count window — this is how Q2's
+  ``WITHIN 50K`` is interpreted;
+* a ``REMOTE[t1.user]`` reference without an explicit source addresses the
+  source named after its key attribute (here ``user``); distinct logical
+  tables sharing a key attribute can be disambiguated as
+  ``REMOTE<locations>[t1.user]``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.ast import EventAtom, OrPattern, Pattern, Query, SeqPattern, Window
+from repro.query.errors import ParseError
+from repro.query.predicates import (
+    Attr,
+    Comparison,
+    Const,
+    Expr,
+    Membership,
+    Predicate,
+    RemoteRef,
+    SameAttribute,
+)
+
+__all__ = ["parse_query", "parse_pattern"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?[kKM]?)
+  | (?P<string>'[^']*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|==|[=<>])
+  | (?P<punct>[(),.\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SEQ", "OR", "WHERE", "AND", "WITHIN", "SAME", "REMOTE", "NOT", "IN", "EVENTS"}
+
+_TIME_UNITS_US = {
+    "us": 1.0,
+    "ms": 1_000.0,
+    "s": 1_000_000.0,
+    "sec": 1_000_000.0,
+    "min": 60_000_000.0,
+    "h": 3_600_000_000.0,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value.upper() in _KEYWORDS:
+            tokens.append(_Token(value.upper(), value, match.start()))
+        else:
+            tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+def _number_value(text: str) -> float:
+    multiplier = 1.0
+    if text[-1] in "kK":
+        multiplier, text = 1_000.0, text[:-1]
+    elif text[-1] == "M":
+        multiplier, text = 1_000_000.0, text[:-1]
+    return float(text) * multiplier
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._current
+        if token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        return self._advance()
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {self._current.text or 'end of query'!r}",
+                self._current.pos,
+            )
+        return token
+
+    # -- grammar -----------------------------------------------------------
+    def parse_query(self, name: str) -> Query:
+        pattern = self._parse_or()  # top-level OR of operands is allowed
+        conditions: list[Predicate | SameAttribute] = []
+        if self._accept("WHERE"):
+            conditions.append(self._parse_predicate())
+            while self._accept("AND"):
+                conditions.append(self._parse_predicate())
+        window = Window.count(10_000)  # effectively unbounded default
+        if self._accept("WITHIN"):
+            window = self._parse_window()
+        self._expect("eof")
+        return Query(pattern, conditions, window, name=name)
+
+    def parse_pattern_operand(self) -> Pattern:
+        """An operand: SEQ(...), a parenthesised OR, or a typed atom."""
+        if self._current.kind == "SEQ":
+            return self._parse_seq()
+        if self._accept("punct", "("):
+            pattern = self._parse_or()
+            self._expect("punct", ")")
+            return pattern
+        type_token = self._expect("ident")
+        binding_token = self._expect("ident")
+        return EventAtom(type_token.text, binding_token.text)
+
+    def _parse_seq(self) -> Pattern:
+        self._expect("SEQ")
+        self._expect("punct", "(")
+        parts = [self._parse_or()]
+        while self._accept("punct", ","):
+            parts.append(self._parse_or())
+        self._expect("punct", ")")
+        if len(parts) == 1:
+            return parts[0]
+        return SeqPattern(parts)
+
+    def _parse_or(self) -> Pattern:
+        alternatives = [self.parse_pattern_operand()]
+        while self._accept("OR"):
+            alternatives.append(self.parse_pattern_operand())
+        if len(alternatives) == 1:
+            return alternatives[0]
+        return OrPattern(alternatives)
+
+    def _parse_predicate(self) -> Predicate | SameAttribute:
+        if self._accept("punct", "("):
+            predicate = self._parse_predicate()
+            self._expect("punct", ")")
+            return predicate
+        if self._accept("SAME"):
+            self._expect("punct", "[")
+            attr = self._expect("ident").text
+            self._expect("punct", "]")
+            return SameAttribute(attr)
+        left = self._parse_expr()
+        if self._accept("NOT"):
+            self._expect("IN")
+            return Membership(left, self._parse_expr(), negated=True)
+        if self._accept("IN"):
+            return Membership(left, self._parse_expr(), negated=False)
+        op_token = self._expect("op")
+        right = self._parse_expr()
+        return Comparison(op_token.text, left, right)
+
+    def _parse_expr(self) -> Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            value = _number_value(token.text)
+            return Const(int(value) if value == int(value) else value)
+        if token.kind == "string":
+            self._advance()
+            return Const(token.text[1:-1])
+        if token.kind == "REMOTE":
+            self._advance()
+            return self._parse_remote_ref()
+        if token.kind == "ident":
+            binding = self._advance().text
+            self._expect("punct", ".")
+            attr = self._expect("ident").text
+            return Attr(binding, attr)
+        raise ParseError(f"expected an expression, found {token.text!r}", token.pos)
+
+    def _parse_remote_ref(self) -> RemoteRef:
+        source: str | None = None
+        if self._accept("op", "<"):
+            source = self._expect("ident").text
+            self._expect("op", ">")
+        self._expect("punct", "[")
+        binding = self._expect("ident").text
+        self._expect("punct", ".")
+        attr = self._expect("ident").text
+        self._expect("punct", "]")
+        if source is None:
+            source = attr
+        return RemoteRef(source, Attr(binding, attr))
+
+    def _parse_window(self) -> Window:
+        number = self._expect("number")
+        value = _number_value(number.text)
+        unit = self._current
+        if unit.kind == "ident" and unit.text.lower() in _TIME_UNITS_US:
+            self._advance()
+            return Window.time(value * _TIME_UNITS_US[unit.text.lower()])
+        if unit.kind == "EVENTS":
+            self._advance()
+            return Window.count(int(value))
+        return Window.count(int(value))
+
+
+def parse_query(text: str, name: str = "query") -> Query:
+    """Parse a full query string into a :class:`~repro.query.ast.Query`."""
+    return _Parser(_tokenize(text)).parse_query(name)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse just a pattern expression (no WHERE/WITHIN)."""
+    parser = _Parser(_tokenize(text))
+    pattern = parser._parse_or()
+    parser._expect("eof")
+    return pattern

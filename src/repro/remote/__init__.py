@@ -1,0 +1,27 @@
+"""Remote-data substrate: elements, store, transport, latency monitoring."""
+
+from repro.remote.element import DataElement, DataKey
+from repro.remote.monitor import LatencyMonitor
+from repro.remote.store import MISSING_VALUE, RemoteStore
+from repro.remote.transport import (
+    FetchRequest,
+    FixedLatency,
+    LatencyModel,
+    PerSourceLatency,
+    Transport,
+    UniformLatency,
+)
+
+__all__ = [
+    "DataElement",
+    "DataKey",
+    "RemoteStore",
+    "MISSING_VALUE",
+    "LatencyMonitor",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "PerSourceLatency",
+    "FetchRequest",
+    "Transport",
+]

@@ -1,0 +1,56 @@
+"""Per-element transmission-latency monitoring.
+
+The paper assumes ``l_remote(d)`` "is monitored per data element" (§2.1) and
+both PFetch timing (Alg. 3) and the LzEval benefit estimate (Alg. 4) consume
+the monitored value.  :class:`LatencyMonitor` keeps an exponentially weighted
+moving average per key, falling back to a per-source average for keys never
+fetched before, then to a configurable prior — a fresh system has no
+observations yet but still needs a usable estimate.
+"""
+
+from __future__ import annotations
+
+from repro.remote.element import DataKey
+
+__all__ = ["LatencyMonitor"]
+
+
+class LatencyMonitor:
+    """EWMA latency estimates keyed by element and by source."""
+
+    def __init__(self, alpha: float = 0.2, prior: float = 50.0) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        if prior <= 0:
+            raise ValueError(f"prior latency must be positive: {prior}")
+        self._alpha = alpha
+        self._prior = prior
+        self._by_key: dict[DataKey, float] = {}
+        self._by_source: dict[str, float] = {}
+        self.observations = 0
+
+    def record(self, key: DataKey, latency: float) -> None:
+        """Fold one observed transmission latency into the estimates."""
+        if latency < 0:
+            raise ValueError(f"observed latency must be non-negative: {latency}")
+        self.observations += 1
+        self._by_key[key] = self._blend(self._by_key.get(key), latency)
+        self._by_source[key[0]] = self._blend(self._by_source.get(key[0]), latency)
+
+    def estimate(self, key: DataKey) -> float:
+        """Best available estimate of ``l_remote`` for ``key``."""
+        if key in self._by_key:
+            return self._by_key[key]
+        return self._by_source.get(key[0], self._prior)
+
+    def estimate_source(self, source: str) -> float:
+        """Estimate for an entire source (used before any key is known)."""
+        return self._by_source.get(source, self._prior)
+
+    def _blend(self, current: float | None, observation: float) -> float:
+        if current is None:
+            return observation
+        return (1 - self._alpha) * current + self._alpha * observation
+
+    def __repr__(self) -> str:
+        return f"LatencyMonitor({self.observations} observations, {len(self._by_key)} keys)"

@@ -1,0 +1,191 @@
+"""Transmission-latency model and in-flight request tracking.
+
+The CEP engine never touches :class:`repro.remote.store.RemoteStore`
+directly; every access goes through a :class:`Transport`, which charges the
+transmission latency ``l_remote(d)`` of §2.1.  Two access modes exist:
+
+* **blocking fetch** — the naive integration (BL1/BL2) and the "lazy
+  evaluation not beneficial" branch of Alg. 4 line 15: the engine stalls
+  until the response arrives.
+* **asynchronous fetch** — PFetch prefetches and LzEval fetch-and-postpone:
+  the request is issued at ``now`` and its response materialises at
+  ``now + l_remote(d)``; the pipeline deposits delivered elements into the
+  cache.
+
+Concurrent requests for the same key are coalesced: a second ``fetch_async``
+while the first is in flight returns the existing request, like a request
+de-duplicating client library would.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.remote.element import DataElement, DataKey
+from repro.remote.monitor import LatencyMonitor
+from repro.remote.store import RemoteStore
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "PerSourceLatency",
+    "FetchRequest",
+    "Transport",
+]
+
+
+class LatencyModel(ABC):
+    """Draws one transmission latency (in virtual us) per fetch."""
+
+    @abstractmethod
+    def sample(self, key: DataKey, rng: random.Random) -> float:
+        """Latency for fetching ``key``."""
+
+
+class FixedLatency(LatencyModel):
+    """Every fetch takes exactly ``latency`` microseconds."""
+
+    def __init__(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative: {latency}")
+        self.latency = latency
+
+    def sample(self, key: DataKey, rng: random.Random) -> float:
+        return self.latency
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low, high]`` — the paper's synthetic setting."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid latency range: [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, key: DataKey, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class PerSourceLatency(LatencyModel):
+    """Different latency model per remote source, with an optional default."""
+
+    def __init__(
+        self,
+        models: dict[str, LatencyModel],
+        default: LatencyModel | None = None,
+    ) -> None:
+        self._models = dict(models)
+        self._default = default
+
+    def sample(self, key: DataKey, rng: random.Random) -> float:
+        model = self._models.get(key[0], self._default)
+        if model is None:
+            raise KeyError(f"no latency model for source {key[0]!r}")
+        return model.sample(key, rng)
+
+
+class FetchRequest:
+    """One outstanding (or completed) remote fetch."""
+
+    __slots__ = ("key", "issued_at", "arrives_at", "element")
+
+    def __init__(self, key: DataKey, issued_at: float, arrives_at: float, element: DataElement):
+        self.key = key
+        self.issued_at = issued_at
+        self.arrives_at = arrives_at
+        self.element = element
+
+    @property
+    def latency(self) -> float:
+        return self.arrives_at - self.issued_at
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchRequest({self.key!r}, issued={self.issued_at:.1f}, "
+            f"arrives={self.arrives_at:.1f})"
+        )
+
+
+class Transport:
+    """Mediates all remote access, charging transmission latency.
+
+    Statistics (``blocking_fetches``, ``async_fetches``, ``coalesced``) feed
+    the experiment reports.
+    """
+
+    def __init__(
+        self,
+        store: RemoteStore,
+        latency_model: LatencyModel,
+        rng: random.Random,
+        monitor: LatencyMonitor | None = None,
+    ) -> None:
+        self._store = store
+        self._latency_model = latency_model
+        self._rng = rng
+        self.monitor = monitor if monitor is not None else LatencyMonitor()
+        self._in_flight: dict[DataKey, FetchRequest] = {}
+        self.blocking_fetches = 0
+        self.async_fetches = 0
+        self.coalesced = 0
+
+    @property
+    def store(self) -> RemoteStore:
+        return self._store
+
+    def fetch_blocking(self, key: DataKey, now: float) -> FetchRequest:
+        """Fetch ``key`` synchronously; the caller must stall to ``arrives_at``.
+
+        If the same key is already in flight (e.g. a prefetch raced ahead),
+        the pending request is returned so the caller only waits for the
+        *remaining* time — issuing a second wire request would be wasteful
+        and would overstate the stall.
+        """
+        pending = self._in_flight.get(key)
+        if pending is not None:
+            self.coalesced += 1
+            return pending
+        self.blocking_fetches += 1
+        return self._issue(key, now)
+
+    def fetch_async(self, key: DataKey, now: float) -> FetchRequest:
+        """Issue a non-blocking fetch; response is due at ``arrives_at``."""
+        pending = self._in_flight.get(key)
+        if pending is not None:
+            self.coalesced += 1
+            return pending
+        self.async_fetches += 1
+        request = self._issue(key, now)
+        self._in_flight[key] = request
+        return request
+
+    def in_flight(self, key: DataKey) -> FetchRequest | None:
+        """The pending request for ``key``, if any."""
+        return self._in_flight.get(key)
+
+    def deliver_due(self, now: float) -> list[FetchRequest]:
+        """Pop and return every async request whose response has arrived."""
+        delivered = [req for req in self._in_flight.values() if req.arrives_at <= now]
+        for request in delivered:
+            del self._in_flight[request.key]
+        delivered.sort(key=lambda req: req.arrives_at)
+        return delivered
+
+    def pending_count(self) -> int:
+        return len(self._in_flight)
+
+    def _issue(self, key: DataKey, now: float) -> FetchRequest:
+        latency = self._latency_model.sample(key, self._rng)
+        element = self._store.lookup(key)
+        request = FetchRequest(key, issued_at=now, arrives_at=now + latency, element=element)
+        self.monitor.record(key, latency)
+        return request
+
+    def __repr__(self) -> str:
+        return (
+            f"Transport(blocking={self.blocking_fetches}, async={self.async_fetches}, "
+            f"coalesced={self.coalesced}, pending={len(self._in_flight)})"
+        )

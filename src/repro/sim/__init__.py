@@ -1,0 +1,14 @@
+"""Virtual-time simulation substrate: clock, deferred-action scheduler, RNG."""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import make_rng, spawn, stable_hash
+from repro.sim.scheduler import FutureScheduler, ScheduledItem
+
+__all__ = [
+    "VirtualClock",
+    "FutureScheduler",
+    "ScheduledItem",
+    "make_rng",
+    "spawn",
+    "stable_hash",
+]

@@ -1,0 +1,99 @@
+"""Future-completion scheduler for the virtual-time simulation.
+
+The EIRES strategies issue *asynchronous* work whose effects materialise at a
+later virtual time: a prefetch request lands in the cache ``l_remote(d)``
+microseconds after it is issued (§5.1), and estimated-arrival prefetch timing
+(Alg. 3, line 11) schedules a fetch to be issued only after a computed offset
+has elapsed.  The :class:`FutureScheduler` is the single place where such
+deferred actions are kept, ordered by their due time.
+
+The scheduler is deliberately minimal: it holds ``(due_time, seq, payload)``
+entries in a heap and releases every entry whose due time has been reached.
+Callers decide what a payload means; the simulator core only guarantees
+ordering and a stable FIFO tie-break for equal due times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+__all__ = ["FutureScheduler", "ScheduledItem"]
+
+
+class ScheduledItem:
+    """A payload scheduled to become due at a fixed virtual time."""
+
+    __slots__ = ("due", "seq", "payload")
+
+    def __init__(self, due: float, seq: int, payload: Any) -> None:
+        self.due = due
+        self.seq = seq
+        self.payload = payload
+
+    def __lt__(self, other: "ScheduledItem") -> bool:
+        if self.due != other.due:
+            return self.due < other.due
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        return f"ScheduledItem(due={self.due:.3f}, payload={self.payload!r})"
+
+
+class FutureScheduler:
+    """Min-heap of payloads ordered by virtual due time.
+
+    Example::
+
+        sched = FutureScheduler()
+        sched.schedule(due=150.0, payload=("arrive", element))
+        ...
+        for payload in sched.pop_due(clock.now):
+            handle(payload)
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledItem] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, due: float, payload: Any) -> ScheduledItem:
+        """Register ``payload`` to become due at virtual time ``due``."""
+        if due < 0:
+            raise ValueError(f"cannot schedule at negative time: {due}")
+        item = ScheduledItem(due, self._seq, payload)
+        self._seq += 1
+        heapq.heappush(self._heap, item)
+        return item
+
+    def peek_due(self) -> float | None:
+        """Due time of the earliest pending item, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].due
+
+    def pop_due(self, now: float) -> Iterator[Any]:
+        """Yield payloads of every item whose due time is ``<= now``.
+
+        Items are yielded in (due, insertion) order.  The iterator is lazy,
+        but popping stops as soon as the earliest remaining item lies in the
+        future, so partially consuming it leaves the heap consistent.
+        """
+        while self._heap and self._heap[0].due <= now:
+            yield heapq.heappop(self._heap).payload
+
+    def drain(self) -> Iterator[Any]:
+        """Yield all remaining payloads in due order (end-of-run flush)."""
+        while self._heap:
+            yield heapq.heappop(self._heap).payload
+
+    def clear(self) -> None:
+        """Discard all pending items."""
+        self._heap.clear()

@@ -1,0 +1,42 @@
+"""Remote-data fetching strategies: baselines BL1-BL3, PFetch, LzEval, Hybrid."""
+
+from repro.strategies.base import FetchStrategy, RuntimeContext, StrategyStats
+from repro.strategies.baseline import CachedStrategy, DeferredStrategy, NaiveStrategy
+from repro.strategies.hybrid import HybridStrategy
+from repro.strategies.lazy import LazyBenefitModel, LzEvalStrategy
+from repro.strategies.prefetch import PFetchStrategy, PrefetchPlan, PrefetchPlanner
+
+STRATEGIES = {
+    "BL1": NaiveStrategy,
+    "BL2": CachedStrategy,
+    "BL3": DeferredStrategy,
+    "PFetch": PFetchStrategy,
+    "LzEval": LzEvalStrategy,
+    "Hybrid": HybridStrategy,
+}
+
+
+def make_strategy(name: str) -> FetchStrategy:
+    """Instantiate a strategy by its paper name (BL1..BL3, PFetch, LzEval, Hybrid)."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}") from None
+
+
+__all__ = [
+    "FetchStrategy",
+    "RuntimeContext",
+    "StrategyStats",
+    "NaiveStrategy",
+    "CachedStrategy",
+    "DeferredStrategy",
+    "PFetchStrategy",
+    "PrefetchPlanner",
+    "PrefetchPlan",
+    "LzEvalStrategy",
+    "LazyBenefitModel",
+    "HybridStrategy",
+    "STRATEGIES",
+    "make_strategy",
+]

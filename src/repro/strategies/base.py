@@ -1,0 +1,353 @@
+"""Shared machinery for the remote-data fetching strategies (§5).
+
+All strategies — the baselines BL1–BL3 and EIRES's PFetch, LzEval and Hybrid
+— share the same skeleton: they mediate every remote predicate evaluation,
+deliver asynchronously fetched elements into the cache, and account for the
+stalls they impose on the engine.  The subclasses differ only in the
+decision hooks:
+
+* :meth:`FetchStrategy.decide_postpone` — block on missing data or postpone
+  the predicate (L1 of LzEval);
+* :meth:`FetchStrategy.should_block_obligations` — whether a run carrying
+  postponed predicates may keep developing (L2);
+* :meth:`FetchStrategy.on_run_created` — prefetch triggering (P1/P2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cache.base import Cache
+from repro.cache.history import HitHistory
+from repro.engine.interface import POSTPONED
+from repro.events.event import Event
+from repro.nfa.automaton import Automaton, Transition
+from repro.nfa.run import Run
+from repro.query.errors import RemoteDataUnavailable
+from repro.query.predicates import Predicate
+from repro.remote.element import DataKey
+from repro.remote.transport import Transport
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import FutureScheduler
+from repro.utility.model import UtilityModel
+from repro.utility.noise import NoiseModel
+from repro.utility.rates import RateEstimator
+
+__all__ = ["RuntimeContext", "StrategyStats", "FetchStrategy"]
+
+_PURPOSE_PREFETCH = "prefetch"
+_PURPOSE_LAZY = "lazy"
+
+
+@dataclass
+class RuntimeContext:
+    """Everything a strategy needs from the assembled framework."""
+
+    automaton: Automaton
+    clock: VirtualClock
+    transport: Transport
+    cache: Cache | None
+    utility: UtilityModel
+    rates: RateEstimator
+    scheduler: FutureScheduler
+    history: HitHistory
+    noise: NoiseModel
+    omega_fetch: float = 0.7
+    ell_pm: float = 0.05
+    lookahead_enabled: bool = True
+    prefetch_gate_enabled: bool = True
+    lazy_gate_enabled: bool = True
+    utility_tick_interval: int = 1
+
+
+@dataclass
+class StrategyStats:
+    """Counters describing one strategy's behaviour during a run."""
+
+    blocking_stalls: int = 0
+    total_stall_time: float = 0.0
+    prefetches_issued: int = 0
+    prefetches_suppressed: int = 0
+    lazy_postponements: int = 0
+    forced_blocks: int = 0
+    history_hits: int = 0
+    history_misses: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        data = {
+            "blocking_stalls": self.blocking_stalls,
+            "total_stall_time": round(self.total_stall_time, 3),
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_suppressed": self.prefetches_suppressed,
+            "lazy_postponements": self.lazy_postponements,
+            "forced_blocks": self.forced_blocks,
+            "history_hits": self.history_hits,
+            "history_misses": self.history_misses,
+        }
+        data.update(self.extra)
+        return data
+
+
+class FetchStrategy:
+    """Base class implementing the engine-facing strategy protocol."""
+
+    name = "base"
+    uses_cache = True
+
+    def __init__(self) -> None:
+        self.ctx: RuntimeContext | None = None
+        self.stats = StrategyStats()
+        # Purpose of each in-flight async request, deciding the cache tier
+        # its response enters (T1 certain for lazy fetches, T2 speculative
+        # for prefetches).
+        self._purpose: dict[DataKey, str] = {}
+        # Values staged by prepare_blocking for the duration of one blocking
+        # obligation-resolution round (survives cache eviction races and
+        # serves cacheless strategies like BL3).
+        self._staged: dict[DataKey, Any] = {}
+        self.last_postpone_ell = 0.0
+
+    # -- wiring ----------------------------------------------------------------
+    def attach(self, ctx: RuntimeContext) -> None:
+        self.ctx = ctx
+
+    @property
+    def total_stall_time(self) -> float:
+        return self.stats.total_stall_time
+
+    # -- pipeline hooks -----------------------------------------------------------
+    def on_event_start(self, event: Event, index: int) -> None:
+        """Called before the engine processes ``event``."""
+        ctx = self.ctx
+        ctx.rates.observe_event(event.event_type or "", event.t)
+        self._deliver_due()
+        self._fire_scheduled()
+        if index % ctx.utility_tick_interval == 0:
+            self._utility_tick()
+
+    def on_event_end(self, event: Event, matches: list) -> None:
+        """Called after the engine processed ``event`` (subclass hook)."""
+
+    def _utility_tick(self) -> None:
+        # The engine is attached after construction; runs_per_state is wired
+        # by the pipeline through `bind_engine`.
+        if self._engine is not None:
+            self.ctx.utility.tick(self.ctx.clock.now, self._engine.runs_per_state())
+
+    _engine = None
+
+    def bind_engine(self, engine) -> None:
+        """Give the strategy access to live run counts (for #P_j)."""
+        self._engine = engine
+
+    # -- engine protocol ------------------------------------------------------------
+    def resolve_predicate(
+        self, transition: Transition, predicate: Predicate, run: Run | None, env: Mapping[str, Event]
+    ):
+        """Evaluate a remote predicate, or return POSTPONED (§5.2)."""
+        keys = predicate.remote_keys(env)
+        self._deliver_due()
+        values, missing = self._collect(keys)
+        self._record_history(transition, predicate, missing)
+        if missing:
+            if self.decide_postpone(transition, predicate, run, env, missing):
+                self.stats.lazy_postponements += 1
+                return POSTPONED
+            values.update(self._block_for(missing))
+        return _evaluate_with(predicate, env, values)
+
+    def resolve_obligation_predicate(
+        self, predicate: Predicate, env: Mapping[str, Event], blocking: bool
+    ):
+        """Re-evaluate a postponed predicate once its data (maybe) arrived."""
+        keys = predicate.remote_keys(env)
+        self._deliver_due()
+        values, missing = self._collect(keys)
+        if missing:
+            if not blocking:
+                return POSTPONED
+            values.update(self._block_for(missing))
+        return _evaluate_with(predicate, env, values)
+
+    def prepare_blocking(self, run: Run) -> None:
+        """Fetch everything a run's obligations still miss, in one round.
+
+        Called by the engine before blocking obligation resolution so the
+        stall is the *maximum* outstanding transmission latency rather than
+        the sum over predicates — the effect the paper credits for BL3
+        beating BL1/BL2 on Q1 (§7.2).
+        """
+        missing: list[DataKey] = []
+        seen: set[DataKey] = set()
+        self._deliver_due()
+        for obligation in run.obligations:
+            for predicate in obligation.predicates:
+                for key in predicate.remote_keys(obligation.env):
+                    if key not in seen and not self._available(key):
+                        seen.add(key)
+                        missing.append(key)
+        if missing:
+            self._staged.update(self._block_for(missing))
+
+    def finish_blocking(self) -> None:
+        """End of a blocking obligation-resolution round: drop staged values."""
+        self._staged.clear()
+
+    def should_block_obligations(self, run: Run) -> bool:
+        """Default: obligations ride until the final state resolves them."""
+        return False
+
+    def decide_postpone(
+        self,
+        transition: Transition,
+        predicate: Predicate,
+        run: Run | None,
+        env: Mapping[str, Event],
+        missing: list[DataKey],
+    ) -> bool:
+        """Default: never postpone — block until the data is fetched."""
+        return False
+
+    def on_run_created(self, run: Run) -> None:
+        self.ctx.utility.on_run_created(run)
+
+    def on_run_dropped(self, run: Run, reason: str) -> None:
+        self.ctx.utility.on_run_dropped(run)
+
+    def observe_guard(self, transition: Transition, passed: bool) -> None:
+        self.ctx.rates.observe_guard(transition.index, passed)
+
+    # -- remote access helpers ---------------------------------------------------------
+    def _available(self, key: DataKey) -> bool:
+        """Availability probe without hit/miss accounting (planner checks)."""
+        cache = self.ctx.cache
+        return cache is not None and cache.peek(key, self.ctx.clock.now) is not None
+
+    def _collect(self, keys) -> tuple[dict[DataKey, Any], list[DataKey]]:
+        """Snapshot the locally available values for ``keys``.
+
+        Snapshotting decouples evaluation from cache state: inserting a
+        just-fetched element may evict another key of the *same* predicate,
+        so values must be read out before any further insertion.  Each
+        lookup counts once in the cache's hit/miss statistics.
+        """
+        values: dict[DataKey, Any] = {}
+        missing: list[DataKey] = []
+        cache = self.ctx.cache
+        now = self.ctx.clock.now
+        for key in keys:
+            if key in values:
+                continue
+            if key in self._staged:
+                values[key] = self._staged[key]
+                continue
+            element = cache.get(key, now) if cache is not None else None
+            if element is None:
+                missing.append(key)
+            else:
+                values[key] = self._value_for(key, element)
+        return values, missing
+
+    def _value_for(self, key: DataKey, element) -> Any:
+        """The value for ``key`` given a cache hit (possibly on a container)."""
+        if element.key == key:
+            return element.value
+        # Container hit: serve the contained element's own value.
+        return self.ctx.transport.store.lookup(key).value
+
+    def _block_for(self, keys: list[DataKey]) -> dict[DataKey, Any]:
+        """Fetch ``keys``, stalling the engine until all responses arrived.
+
+        Requests are issued concurrently (the stall is the max, not the sum
+        — this is what makes BL3's one-shot fetching cheaper per match than
+        BL1's state-by-state stalls).  Requests already in flight are simply
+        awaited for their remaining time.  Returns the fetched values; with
+        a cache attached they are also inserted (tier T1 — their use is
+        certain), while BL1 keeps nothing beyond the returned snapshot.
+        """
+        ctx = self.ctx
+        now = ctx.clock.now
+        latest = now
+        requests = []
+        for key in keys:
+            pending = ctx.transport.in_flight(key)
+            request = pending if pending is not None else ctx.transport.fetch_blocking(key, now)
+            requests.append(request)
+            if request.arrives_at > latest:
+                latest = request.arrives_at
+        self.stats.blocking_stalls += 1
+        self.stats.total_stall_time += latest - now
+        ctx.clock.advance_to(latest)
+        values: dict[DataKey, Any] = {}
+        cache = ctx.cache
+        for request in requests:
+            self._purpose.pop(request.key, None)
+            values[request.key] = request.element.value
+            if cache is not None:
+                cache.put(request.element, ctx.clock.now, certain=True)
+        self._deliver_due()
+        return values
+
+    def _deliver_due(self) -> None:
+        """Move arrived async responses into the cache."""
+        ctx = self.ctx
+        delivered = ctx.transport.deliver_due(ctx.clock.now)
+        if not delivered:
+            return
+        cache = ctx.cache
+        for request in delivered:
+            purpose = self._purpose.pop(request.key, _PURPOSE_LAZY)
+            if cache is not None:
+                cache.put(request.element, ctx.clock.now, certain=purpose == _PURPOSE_LAZY)
+
+    def _fetch_async(self, key: DataKey, purpose: str) -> None:
+        ctx = self.ctx
+        if ctx.transport.in_flight(key) is None:
+            ctx.transport.fetch_async(key, ctx.clock.now)
+            self._purpose[key] = purpose
+        elif purpose == _PURPOSE_LAZY:
+            # A lazy need upgrades a speculative prefetch: its use is now certain.
+            self._purpose[key] = _PURPOSE_LAZY
+
+    def _fetch_async_lazy(self, keys: list[DataKey]) -> None:
+        for key in keys:
+            self._fetch_async(key, _PURPOSE_LAZY)
+
+    def _fetch_async_prefetch(self, key: DataKey) -> None:
+        self._fetch_async(key, _PURPOSE_PREFETCH)
+
+    # -- subclass hooks -------------------------------------------------------------
+    def _fire_scheduled(self) -> None:
+        """Consume scheduler payloads (offset prefetches); default: none."""
+        for _ in self.ctx.scheduler.pop_due(self.ctx.clock.now):
+            pass
+
+    def _record_history(
+        self, transition: Transition, predicate: Predicate, missing: list[DataKey]
+    ) -> None:
+        """Prefetch hit/miss history bookkeeping; default: none (no prefetch)."""
+
+    def end_of_stream(self) -> None:
+        """Cleanup hook after the last event (subclass extension point)."""
+
+    def describe(self) -> dict[str, Any]:
+        data = {"strategy": self.name}
+        data.update(self.stats.as_dict())
+        return data
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _evaluate_with(predicate: Predicate, env: Mapping[str, Event], values: dict) -> bool:
+    """Evaluate a predicate against a pre-collected value snapshot."""
+
+    def resolver(key):
+        try:
+            return values[key]
+        except KeyError:
+            raise RemoteDataUnavailable(key) from None
+
+    return predicate.evaluate(env, resolver)

@@ -1,0 +1,75 @@
+"""Baseline strategies BL1–BL3 (§7.1).
+
+* **BL1** — naive integration: stream processing is interrupted whenever a
+  remote element is needed, each time paying the full transmission latency;
+  nothing is retained (no cache).
+* **BL2** — like BL1, but fetched elements enter a local cache (either LRU
+  or cost-based), so repeated needs for the same element hit locally.
+* **BL3** — remote predicates are ignored during run construction; upon
+  reaching a final state all still-needed elements are fetched *at once*
+  (aggregate stall = the maximum transmission latency, not the sum) and the
+  postponed event selection is conducted.  No cache is kept (BL2 is the
+  cache baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.events.event import Event
+from repro.nfa.automaton import Transition
+from repro.nfa.run import Run
+from repro.query.predicates import Predicate
+from repro.remote.element import DataKey
+from repro.strategies.base import FetchStrategy
+
+__all__ = ["NaiveStrategy", "CachedStrategy", "DeferredStrategy"]
+
+
+class NaiveStrategy(FetchStrategy):
+    """BL1: block on every need, keep nothing."""
+
+    name = "BL1"
+    uses_cache = False
+    # All behaviour is the base default with cache=None: every remote
+    # predicate blocks for a fresh fetch, values are discarded immediately.
+
+
+class CachedStrategy(FetchStrategy):
+    """BL2: block on misses, serve repeats from the cache."""
+
+    name = "BL2"
+    # Base behaviour with a cache attached is exactly BL2.
+
+
+class DeferredStrategy(FetchStrategy):
+    """BL3: postpone every remote predicate until a final state.
+
+    BL3 keeps no cache: the paper positions BL2 as *the* cache baseline,
+    and BL3's post-processing design fetches whatever a completed candidate
+    match needs in one concurrent round (its stall is the maximum
+    transmission latency, not the sum).  The price is the unchecked growth
+    of partial matches, which is exactly the failure mode the paper reports
+    for BL3 under greedy selection (Fig. 6c/d) and in the cluster case
+    study (Fig. 10b).
+    """
+
+    name = "BL3"
+    uses_cache = False
+
+    def decide_postpone(
+        self,
+        transition: Transition,
+        predicate: Predicate,
+        run: Run | None,
+        env: Mapping[str, Event],
+        missing: list[DataKey],
+    ) -> bool:
+        # Always postpone; crucially, no fetch is issued now — BL3 fetches
+        # only once a final state forces resolution, which is what produces
+        # its one-big-stall-at-the-end latency profile.
+        return True
+
+    def should_block_obligations(self, run: Run) -> bool:
+        # Ride every obligation all the way to the final state.
+        return False

@@ -1,0 +1,33 @@
+"""The Hybrid strategy: PFetch + LzEval combined (Alg. 1).
+
+Per the EIRES workflow, prefetching is always performed; whenever a needed
+element nevertheless misses the cache (wrong prediction, eviction, or a key
+only derivable from the current event), lazy evaluation takes over instead
+of interrupting the stream.  The combination overcomes each component's
+weakness: PFetch's mispredictions no longer block processing, and LzEval's
+partial-match overhead shrinks because most needs are already served from
+the cache (§7.2, "Benefits of Hybrid").
+"""
+
+from __future__ import annotations
+
+from repro.strategies.lazy import LazyBenefitModel, LzEvalStrategy
+from repro.strategies.prefetch import PFetchStrategy
+
+__all__ = ["HybridStrategy"]
+
+
+class HybridStrategy(PFetchStrategy):
+    """Prefetch on anticipation; lazily evaluate whatever still misses."""
+
+    name = "Hybrid"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.benefit = LazyBenefitModel(self)
+
+    # LzEval's decision hooks, grafted onto the PFetch base: Python's MRO
+    # with two concrete strategies would be ambiguous about stats/planner
+    # initialisation, so the two methods are delegated explicitly.
+    decide_postpone = LzEvalStrategy.decide_postpone
+    should_block_obligations = LzEvalStrategy.should_block_obligations

@@ -1,0 +1,196 @@
+"""The PFetch strategy: prefetching remote data based on anticipated use (§5.1).
+
+Two cooperating pieces:
+
+:class:`PrefetchPlanner` answers operation **P1** — *when* to prefetch — per
+remote site:
+
+* **Lookahead timing** walks the site's trigger candidates from the class
+  closest to the need back towards the class where the lookup key is first
+  bound, and picks the closest one whose recent prefetches actually hit
+  (cache hit history ``H``, Alg. 3 lines 3–9).  Triggering means: the moment
+  a partial match *enters* that class, the concrete key is computed from its
+  bound events and a fetch may be issued.
+* **Estimated-arrival timing** is the fallback when every candidate has
+  accumulated negative evidence: the fetch is delayed by
+  ``1/lambda - l_remote`` after the partial match enters the earliest
+  key-bearing class, aiming the response to land just before the extension
+  event is expected (Alg. 3 lines 10–12, Poisson arrivals).
+
+:class:`PFetchStrategy` answers operation **P2** — *what* to prefetch — with
+the utility gate of Eq. 7: an element is fetched only if its utility exceeds
+the minimum utility currently represented in the cache (always, while the
+cache has free room).  A missing element at evaluation time interrupts
+processing exactly like BL2 — the cost of a misprediction the paper's
+Fig. 5d tail latencies show.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.events.event import Event
+from repro.nfa.automaton import RemoteSite, Transition
+from repro.nfa.run import Run
+from repro.query.predicates import Predicate
+from repro.remote.element import DataKey
+from repro.strategies.base import FetchStrategy
+
+__all__ = ["PrefetchPlan", "PrefetchPlanner", "PFetchStrategy"]
+
+
+class PrefetchPlan:
+    """Current prefetch decision for one remote site."""
+
+    __slots__ = ("trigger_state_index", "offset")
+
+    def __init__(self, trigger_state_index: int, offset: float) -> None:
+        self.trigger_state_index = trigger_state_index
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"PrefetchPlan(trigger=q{self.trigger_state_index}, offset={self.offset:.1f}us)"
+
+
+class PrefetchPlanner:
+    """Computes and refreshes prefetch timing plans (P1, Alg. 3)."""
+
+    def __init__(self, strategy: "PFetchStrategy") -> None:
+        self._strategy = strategy
+        # site_id -> states that trigger it (possibly with offset)
+        self._plans: dict[int, PrefetchPlan] = {}
+        # trigger state index -> sites fired when a run enters it
+        self._triggers: dict[int, list[RemoteSite]] = {}
+        self._last_refresh = -1.0
+
+    def refresh(self, now: float, interval: float = 1_000.0) -> None:
+        """Recompute all plans if the refresh interval elapsed."""
+        if self._last_refresh >= 0 and now - self._last_refresh < interval:
+            return
+        self._last_refresh = now
+        ctx = self._strategy.ctx
+        self._plans.clear()
+        self._triggers.clear()
+        for site in ctx.automaton.sites:
+            plan = self._plan_site(site, now)
+            if plan is None:
+                continue
+            self._plans[site.site_id] = plan
+            self._triggers.setdefault(plan.trigger_state_index, []).append(site)
+
+    def _plan_site(self, site: RemoteSite, now: float) -> PrefetchPlan | None:
+        """Alg. 3 for one site; None when the site is unprefetchable."""
+        if not site.prefetchable:
+            return None
+        ctx = self._strategy.ctx
+        if ctx.lookahead_enabled:
+            for state in site.lookahead_states:  # closest to the need first
+                if state.is_root:
+                    continue
+                if ctx.history.usable(site.site_id, state.index, now):
+                    return PrefetchPlan(state.index, 0.0)
+        # Estimated-arrival fallback: anchor at the earliest key-bearing
+        # class and delay by the expected wait minus the transmission time.
+        anchor = site.lookahead_states[-1]
+        if anchor.is_root:
+            return None
+        expected_wait = ctx.rates.expected_gap(site.transition.index, site.transition.event_type)
+        transmission = ctx.transport.monitor.estimate_source(site.source)
+        offset = max(0.0, expected_wait - transmission)
+        return PrefetchPlan(anchor.index, offset)
+
+    def plan_for(self, site_id: int) -> PrefetchPlan | None:
+        return self._plans.get(site_id)
+
+    def trigger_state_for(self, site_id: int) -> int | None:
+        """The state whose entry currently triggers this site's prefetches."""
+        plan = self._plans.get(site_id)
+        return plan.trigger_state_index if plan is not None else None
+
+    def on_run_created(self, run: Run, now: float) -> None:
+        """Fire (or schedule) prefetches triggered by the run's new state."""
+        sites = self._triggers.get(run.state.index)
+        if not sites:
+            return
+        ctx = self._strategy.ctx
+        for site in sites:
+            if site.ref.key_binding not in run.env:
+                continue  # different branch shares the state index? (defensive)
+            key = site.ref.concrete_key(run.env)
+            plan = self._plans[site.site_id]
+            if plan.offset <= 0.0:
+                self._strategy.issue_prefetch(site, key)
+            else:
+                ctx.scheduler.schedule(now + plan.offset, ("prefetch", site, key))
+
+
+class PFetchStrategy(FetchStrategy):
+    """Prefetching with lookahead / estimated-arrival timing (§5.1)."""
+
+    name = "PFetch"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.planner = PrefetchPlanner(self)
+
+    # -- pipeline hooks ---------------------------------------------------------
+    def on_event_start(self, event: Event, index: int) -> None:
+        super().on_event_start(event, index)
+        self.planner.refresh(self.ctx.clock.now)
+
+    def _fire_scheduled(self) -> None:
+        """Issue offset-timed prefetches whose due time has come."""
+        for payload in self.ctx.scheduler.pop_due(self.ctx.clock.now):
+            kind, site, key = payload
+            if kind == "prefetch":
+                self.issue_prefetch(site, key)
+
+    # -- engine hooks ---------------------------------------------------------------
+    def on_run_created(self, run: Run) -> None:
+        super().on_run_created(run)
+        self.planner.refresh(self.ctx.clock.now)
+        self.planner.on_run_created(run, self.ctx.clock.now)
+
+    def _record_history(
+        self, transition: Transition, predicate: Predicate, missing: list[DataKey]
+    ) -> None:
+        """Feed the cache hit/miss history for lookahead timing."""
+        ctx = self.ctx
+        now = ctx.clock.now
+        missing_set = set(missing)
+        for site in transition.sites:
+            if site.predicate is not predicate or not site.prefetchable:
+                continue
+            trigger = self.planner.trigger_state_for(site.site_id)
+            if trigger is None:
+                continue
+            hit = not missing_set
+            if hit:
+                self.stats.history_hits += 1
+                ctx.history.record_hit(site.site_id, trigger, now)
+            else:
+                self.stats.history_misses += 1
+                ctx.history.record_miss(site.site_id, trigger, now)
+
+    # -- P2: prefetch selection --------------------------------------------------------
+    def issue_prefetch(self, site: RemoteSite, key: DataKey) -> None:
+        """Issue one speculative fetch, subject to the Eq. 7 utility gate."""
+        ctx = self.ctx
+        now = ctx.clock.now
+        if ctx.noise.active and ctx.noise.flip(("prefetch", site.site_id, key), now):
+            # A phantom partial match was expected: fetch a useless element.
+            key = ctx.noise.decoy_key(key)
+        if self._available(key) or ctx.transport.in_flight(key) is not None:
+            return
+        cache = ctx.cache
+        if ctx.prefetch_gate_enabled and cache is not None and cache.used >= cache.capacity:
+            # Eq. 7: only displace cached data for higher-utility elements.
+            # The candidate's own utility includes the anticipated urgent
+            # need of the triggering partial match (one latency-weighted use).
+            candidate = ctx.utility.value(key, ctx.omega_fetch)
+            candidate += ctx.omega_fetch * ctx.transport.monitor.estimate(key)
+            if candidate <= cache.min_utility():
+                self.stats.prefetches_suppressed += 1
+                return
+        self.stats.prefetches_issued += 1
+        self._fetch_async_prefetch(key)

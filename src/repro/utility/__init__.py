@@ -1,0 +1,7 @@
+"""Utility modelling: urgent/future utility, rates, noise injection."""
+
+from repro.utility.model import UtilityModel, required_keys
+from repro.utility.noise import NoiseModel
+from repro.utility.rates import RateEstimator
+
+__all__ = ["UtilityModel", "required_keys", "NoiseModel", "RateEstimator"]

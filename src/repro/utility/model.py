@@ -1,0 +1,232 @@
+"""The utility model for remote data elements (§4, Alg. 2).
+
+Utility combines two measures per data element ``d``:
+
+* **urgent utility** ``UU(d,k)`` (Eq. 3): the number of current partial
+  matches that require ``d`` — or an element contained in ``d`` — to process
+  the next event, weighted by the monitored transmission latency.  It is
+  maintained incrementally from run creation/drop notifications.
+* **future utility** ``FU(d,k,k')`` (Eq. 4): the sum of the element's
+  urgent utilities over the future horizon.  Two components realise it:
+
+  - a *residual-lifetime* term computed exactly from the **live** partial
+    matches: a run requiring ``d`` keeps contributing to ``UU(d,i)`` for
+    every future ``i`` until its window expires, so its future contribution
+    is its remaining window lifetime;
+  - the stochastic term of Eq. 6 for partial matches that do not exist yet:
+    ``horizon * sum_j #P_j(k) * Pr(j,d,k)``, where ``#P_j`` is the recent
+    average number of class-``j`` partial matches and ``Pr(j,d,k)`` the
+    probability that one requires ``d`` — both from decayed counters (the
+    O(1)-amortised stand-in for Alg. 2's sliding-window counts).
+
+  Since Eq. 4 sums *urgent* utilities, which are latency-weighted, both
+  components are weighted by the same monitored latency.
+
+The combined utility ``U = omega*UU + (1-omega)*FU`` (Eq. 5) is evaluated
+with different weights by the fetch strategies (``omega_fetch``) and the
+cost-based cache (``omega_cache``) — Fig. 9's sensitivity experiment sweeps
+both.
+
+Requirement counts propagate along the part-of hierarchy: a run requiring a
+child element also credits every container, implementing the ``rho*`` terms
+of Eq. 3 and Eq. 6.
+"""
+
+from __future__ import annotations
+
+from repro.nfa.automaton import Automaton
+from repro.nfa.run import Run
+from repro.remote.element import DataKey
+from repro.remote.monitor import LatencyMonitor
+from repro.remote.store import RemoteStore
+from repro.utility.noise import NoiseModel
+
+__all__ = ["UtilityModel", "required_keys"]
+
+_DECAY = 0.5
+
+
+def required_keys(run: Run, include_future_states: bool = False) -> tuple[DataKey, ...]:
+    """The remote keys ``D(p, k+1)`` a run may need for its next event.
+
+    For every remote site on the run state's outgoing transitions whose
+    lookup key is already derivable from the run's bound events, the
+    concrete ``(source, key)`` is produced.  Sites keyed by the upcoming
+    input event are unknowable and therefore excluded (they surface through
+    lazy evaluation instead).  With ``include_future_states`` the walk
+    descends into deeper states as well, covering sites whose key is bound
+    now but whose need materialises several transitions later.
+    """
+    keys: list[DataKey] = []
+    pending = list(run.state.transitions)
+    env = run.env
+    while pending:
+        transition = pending.pop()
+        for site in transition.sites:
+            if site.ref.key_binding in env:
+                keys.append(site.ref.concrete_key(env))
+        if include_future_states:
+            pending.extend(transition.target.transitions)
+    return tuple(keys)
+
+
+class UtilityModel:
+    """Incrementally maintained utility estimates for data elements."""
+
+    def __init__(
+        self,
+        automaton: Automaton,
+        store: RemoteStore,
+        latency_monitor: LatencyMonitor,
+        horizon_events: float | None = None,
+        noise: NoiseModel | None = None,
+        decay_interval_events: int = 64,
+    ) -> None:
+        self._automaton = automaton
+        self._store = store
+        self._monitor = latency_monitor
+        self._noise = noise if noise is not None else NoiseModel(0.0)
+        self._decay_interval = decay_interval_events
+        if horizon_events is None:
+            # Eq. 6's (k'-k) horizon: estimate utility up to one window ahead.
+            window = automaton.window
+            horizon_events = float(window.value) if window.kind == "count" else 256.0
+        self._horizon = horizon_events
+        # UU: live partial matches requiring each key (Eq. 3 counts), with
+        # the run's window anchor kept for residual-lifetime estimation.
+        self._uu_runs: dict[DataKey, dict[int, tuple[float, int]]] = {}
+        # Alg. 2 state: tranKey(d, j) and tranClass(j) as decayed counters.
+        self._tran_key: dict[int, dict[DataKey, float]] = {}
+        self._tran_class: dict[int, float] = {}
+        # #P_j(k): EWMA of the per-class live-run counts.
+        self._class_counts: dict[int, float] = {}
+        self._events_seen = 0
+        self._now = 0.0
+
+    # -- run lifecycle (driven by the strategy's engine callbacks) ------------
+    def on_run_created(self, run: Run) -> None:
+        # Count every remote key the run can already name, including needs
+        # that materialise several transitions ahead: a partial match at a
+        # lookahead class *will* require the element once it reaches the
+        # evaluating class, and an element prefetched on its behalf must not
+        # look worthless to the cache in the meantime.  (The strict
+        # next-event D(p, k+1) would assign zero utility to every fresh
+        # prefetch and make the cost-based policy evict them first.)
+        keys = required_keys(run, include_future_states=True)
+        run.required_keys = keys
+        class_index = run.state.index
+        self._tran_class[class_index] = self._tran_class.get(class_index, 0.0) + 1.0
+        if not keys:
+            return
+        per_class = self._tran_key.setdefault(class_index, {})
+        anchor = (run.first_t, run.first_seq)
+        for key in keys:
+            per_class[key] = per_class.get(key, 0.0) + 1.0
+            for ancestor_key in self._ancestors(key):
+                self._uu_runs.setdefault(ancestor_key, {})[run.run_id] = anchor
+
+    def on_run_dropped(self, run: Run) -> None:
+        for key in run.required_keys:
+            for ancestor_key in self._ancestors(key):
+                runs = self._uu_runs.get(ancestor_key)
+                if runs is None:
+                    continue
+                runs.pop(run.run_id, None)
+                if not runs:
+                    del self._uu_runs[ancestor_key]
+
+    def tick(self, now: float, runs_per_state: dict[int, int]) -> None:
+        """Periodic refresh: advance time, update #P_j, decay counters."""
+        self._now = now
+        self._events_seen += 1
+        for state_index in range(self._automaton.n_states):
+            current = float(runs_per_state.get(state_index, 0))
+            previous = self._class_counts.get(state_index, current)
+            self._class_counts[state_index] = 0.9 * previous + 0.1 * current
+        if self._events_seen % self._decay_interval == 0:
+            for per_class in self._tran_key.values():
+                stale = []
+                for key in per_class:
+                    per_class[key] *= _DECAY
+                    if per_class[key] < 0.05:
+                        stale.append(key)
+                for key in stale:
+                    del per_class[key]
+            for class_index in self._tran_class:
+                self._tran_class[class_index] *= _DECAY
+
+    # -- measures ----------------------------------------------------------------
+    def urgent_utility(self, key: DataKey) -> float:
+        """``UU(d,k)``: latency-weighted count of runs requiring ``d``."""
+        runs = self._uu_runs.get(key)
+        if not runs:
+            return 0.0
+        return len(runs) * self._monitor.estimate(key)
+
+    def _residual_life_events(self, key: DataKey) -> float:
+        """Expected remaining relevance, in events, of the key's live runs.
+
+        A run anchored at (t0, k0) stays able to require the element until
+        its window closes; the remaining fraction of the window, scaled to
+        events, is its exact contribution to the future urgent utilities of
+        Eq. 4.
+        """
+        runs = self._uu_runs.get(key)
+        if not runs:
+            return 0.0
+        window = self._automaton.window
+        # Window length expressed in events: count windows carry it directly,
+        # time windows are scaled through the (event-denominated) horizon.
+        window_events = window.value if window.kind == "count" else self._horizon
+        total = 0.0
+        for first_t, first_seq in runs.values():
+            if window.kind == "count":
+                elapsed = (self._events_seen - first_seq) / window.value
+            else:
+                elapsed = (self._now - first_t) / window.value
+            total += max(0.0, 1.0 - elapsed) * window_events
+        return total
+
+    def future_utility(self, key: DataKey) -> float:
+        """``FU-hat(d,k,k+horizon)`` per Eq. 6 (latency-weighted, see above)."""
+        if self._noise.active and self._noise.flip(("fu", key), self._now):
+            return 0.0
+        stochastic = 0.0
+        for class_index, per_class in self._tran_key.items():
+            weight = per_class.get(key)
+            if not weight:
+                continue
+            class_total = self._tran_class.get(class_index, 0.0)
+            if class_total <= 0:
+                continue
+            probability = min(weight / class_total, 1.0)
+            stochastic += self._class_counts.get(class_index, 0.0) * probability
+        residual = self._residual_life_events(key)
+        if not stochastic and not residual:
+            return 0.0
+        return (self._horizon * stochastic + residual) * self._monitor.estimate(key)
+
+    def value(self, key: DataKey, omega: float) -> float:
+        """Combined utility ``U(d) = omega*UU + (1-omega)*FU`` (Eq. 5)."""
+        if not 0.0 <= omega <= 1.0:
+            raise ValueError(f"omega must be in [0, 1]: {omega}")
+        return omega * self.urgent_utility(key) + (1.0 - omega) * self.future_utility(key)
+
+    def class_count(self, state_index: int) -> float:
+        """``#P_j(k)``: smoothed number of live partial matches of a class."""
+        return self._class_counts.get(state_index, 0.0)
+
+    # -- internals ------------------------------------------------------------------
+    def _ancestors(self, key: DataKey):
+        element = self._store.lookup(key)
+        if element.parent is None:
+            yield key
+            return
+        for ancestor in element.ancestors():
+            yield ancestor.key
+
+    def __repr__(self) -> str:
+        return (
+            f"UtilityModel({len(self._uu_runs)} urgent keys, "
+            f"{sum(len(v) for v in self._tran_key.values())} tran-key counters)"
+        )

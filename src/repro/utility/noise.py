@@ -1,0 +1,63 @@
+"""Utility-estimation noise injection (Fig. 8a's sensitivity experiment).
+
+The paper assesses estimation quality "by injecting noise into the employed
+estimations, where a noisy estimation means that an expected partial match
+will not actually materialize".  Two consequences of such a wrong
+expectation are reproduced:
+
+* the *future-utility* estimate attributed to a data element is wrong
+  (here: zeroed), degrading prefetch selection and cost-based eviction; and
+* a prefetch issued on behalf of the phantom partial match fetches a
+  *useless element* while the actually needed one is missed (here: the
+  planned key is replaced by a decoy key absent from the remote store).
+
+Decisions are deterministic per (token, epoch): within an epoch the same
+estimation stays corrupted or clean, and decisions refresh as time advances
+— mirroring how estimation errors persist while the underlying statistics
+are stale.
+"""
+
+from __future__ import annotations
+
+from repro.remote.element import DataKey
+from repro.sim.rng import stable_hash
+
+__all__ = ["NoiseModel"]
+
+_HASH_SPACE = 2**31
+
+
+class NoiseModel:
+    """Deterministic pseudo-random corruption of utility estimates."""
+
+    def __init__(self, ratio: float, seed: int = 17, epoch_length: float = 10_000.0) -> None:
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"noise ratio must be in [0, 1]: {ratio}")
+        if epoch_length <= 0:
+            raise ValueError(f"epoch length must be positive: {epoch_length}")
+        self.ratio = ratio
+        self._seed = seed
+        self._epoch_length = epoch_length
+        self.corruptions = 0
+
+    @property
+    def active(self) -> bool:
+        return self.ratio > 0.0
+
+    def flip(self, token: tuple, now: float) -> bool:
+        """Whether the estimation identified by ``token`` is corrupted now."""
+        if not self.active:
+            return False
+        epoch = int(now / self._epoch_length)
+        bucket = stable_hash(token, epoch, self._seed) % _HASH_SPACE
+        corrupted = bucket < self.ratio * _HASH_SPACE
+        if corrupted:
+            self.corruptions += 1
+        return corrupted
+
+    def decoy_key(self, key: DataKey) -> DataKey:
+        """A lookup key for a non-existent element (a useless prefetch)."""
+        return (key[0], ("__noise__", key[1]))
+
+    def __repr__(self) -> str:
+        return f"NoiseModel(ratio={self.ratio}, corruptions={self.corruptions})"

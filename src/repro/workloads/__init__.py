@@ -1,0 +1,28 @@
+"""Workload generators: synthetic Q1/Q2, fraud, bushfire, cluster monitoring."""
+
+from repro.workloads.base import PseudoRandomSet, Workload
+from repro.workloads.bushfire import BushfireConfig, bushfire_query, bushfire_workload
+from repro.workloads.cluster import ClusterConfig, cluster_query, cluster_workload
+from repro.workloads.fraud import FraudConfig, fraud_query, fraud_workload
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    q1_workload,
+    q2_workload,
+)
+
+__all__ = [
+    "Workload",
+    "PseudoRandomSet",
+    "SyntheticConfig",
+    "q1_workload",
+    "q2_workload",
+    "FraudConfig",
+    "fraud_query",
+    "fraud_workload",
+    "BushfireConfig",
+    "bushfire_query",
+    "bushfire_workload",
+    "ClusterConfig",
+    "cluster_query",
+    "cluster_workload",
+]

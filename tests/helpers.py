@@ -1,0 +1,68 @@
+"""Shared builders for engine/strategy tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.events.event import Event
+from repro.events.stream import Stream
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+from repro.remote.transport import FixedLatency, LatencyModel
+
+__all__ = ["make_abc_scenario", "run_eires", "random_stream"]
+
+
+def make_abc_scenario(set_members=frozenset({1, 2, 3, 4})):
+    """A small 3-step query over types A/B/C with one remote membership test.
+
+    Remote source ``v`` maps every key to ``set_members``; the predicate
+    ``b.v IN REMOTE[a.v]`` passes iff the B event's ``v`` lies in that set.
+    """
+    query = parse_query(
+        """
+        SEQ(A a, B b, C c)
+        WHERE SAME[id] AND b.v IN REMOTE[a.v]
+        WITHIN 2000
+        """,
+        name="abc",
+    )
+    store = RemoteStore()
+    store.register_source("v", lambda key: set_members)
+    return query, store
+
+
+def random_stream(n_events: int, seed: int, types="ABC", id_domain=3, v_domain=10,
+                  gap: float = 10.0) -> Stream:
+    rng = random.Random(seed)
+    events = []
+    t = 0.0
+    for _ in range(n_events):
+        t += gap
+        events.append(
+            Event(
+                t,
+                {
+                    "type": rng.choice(types),
+                    "id": rng.randint(1, id_domain),
+                    "v": rng.randint(0, v_domain - 1),
+                },
+            )
+        )
+    return Stream(events)
+
+
+def run_eires(query, store, stream, strategy="Hybrid", policy="greedy",
+              latency: LatencyModel | None = None, **config_kwargs):
+    config = EiresConfig(policy=policy, cache_capacity=config_kwargs.pop("cache_capacity", 100),
+                         **config_kwargs)
+    eires = EIRES(
+        query,
+        store,
+        latency if latency is not None else FixedLatency(50.0),
+        strategy=strategy,
+        config=config,
+    )
+    return eires.run(stream)

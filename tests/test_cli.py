@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, main
+
+
+class TestDescribe:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_describe_prints_automaton(self, workload, capsys):
+        assert main(["describe", "--workload", workload]) == 0
+        out = capsys.readouterr().out
+        assert "Automaton" in out
+        assert "Transition" in out
+
+
+class TestCompare:
+    def test_compare_two_strategies(self, capsys):
+        code = main([
+            "compare", "--workload", "q1", "--events", "800",
+            "--strategies", "BL2", "Hybrid",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BL2" in out and "Hybrid" in out
+        assert "p50" in out
+        assert "improvement" in out
+
+    def test_compare_single_strategy_no_comparison_line(self, capsys):
+        code = main([
+            "compare", "--workload", "q2", "--events", "500",
+            "--strategies", "BL1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement" not in out
+
+    def test_compare_non_greedy_lru(self, capsys):
+        code = main([
+            "compare", "--workload", "q1", "--events", "600",
+            "--policy", "non_greedy", "--cache", "lru",
+            "--strategies", "BL2", "Hybrid", "--capacity", "64",
+        ])
+        assert code == 0
+        assert "lru cache (capacity 64)" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--workload", "nope"])

@@ -1,0 +1,153 @@
+"""Unit tests for AST -> automaton compilation."""
+
+import pytest
+
+from repro.nfa.compiler import compile_query
+from repro.query.ast import EventAtom, Query, SeqPattern, Window
+from repro.query.errors import CompileError
+from repro.query.parser import parse_query
+from repro.query.predicates import Attr, Comparison, RemoteRef
+
+
+def _compile(text, name="q"):
+    return compile_query(parse_query(text, name=name))
+
+
+class TestLinearCompilation:
+    def test_chain_shape(self):
+        automaton = _compile("SEQ(A a, B b, C c) WITHIN 10")
+        assert automaton.n_states == 4  # root + 3
+        assert len(automaton.final_states) == 1
+        assert automaton.final_states[0].path_bindings == ("a", "b", "c")
+
+    def test_transition_types_and_bindings(self):
+        automaton = _compile("SEQ(A a, B b) WITHIN 10")
+        types = [(t.event_type, t.binding) for t in automaton.transitions]
+        assert types == [("A", "a"), ("B", "b")]
+
+    def test_bfs_indices_respect_partial_order(self):
+        automaton = _compile("SEQ(A a, (SEQ(B b, C c) OR SEQ(D d, E e))) WITHIN 10")
+        for transition in automaton.transitions:
+            assert transition.source.index < transition.target.index
+
+    def test_state_partial_order(self):
+        automaton = _compile("SEQ(A a, B b, C c) WITHIN 10")
+        root, qa, qb, qc = automaton.states
+        assert root.precedes(qc)
+        assert qa.precedes(qb)
+        assert not qb.precedes(qa)
+        assert not qa.precedes(qa)  # strict
+
+
+class TestOrCompilation:
+    def test_shared_prefix(self):
+        automaton = _compile("SEQ(A a, (SEQ(B b, C c) OR SEQ(D d, E e))) WITHIN 10")
+        # root, a, then two branches of two states each
+        assert automaton.n_states == 6
+        assert len(automaton.final_states) == 2
+        a_state = automaton.states[1]
+        assert len(a_state.transitions) == 2
+
+    def test_prefix_of_longer_alternative_is_final_and_extending(self):
+        pattern = SeqPattern([EventAtom("A", "a"), EventAtom("B", "b")])
+        longer = SeqPattern(
+            [EventAtom("A", "a"), EventAtom("B", "b"), EventAtom("C", "c")]
+        )
+        from repro.query.ast import OrPattern
+
+        query = Query(OrPattern([pattern, longer]), [], Window.count(10))
+        automaton = compile_query(query)
+        b_states = [s for s in automaton.states if s.path_bindings == ("a", "b")]
+        assert len(b_states) == 1
+        assert b_states[0].is_final
+        assert b_states[0].transitions  # can still extend to c
+
+
+class TestPredicateAttachment:
+    def test_predicate_attaches_when_all_bindings_available(self):
+        automaton = _compile("SEQ(A a, B b, C c) WHERE a.v < c.v WITHIN 10")
+        last = automaton.transitions[-1]
+        assert any("a.v" in repr(p) for p in last.local_predicates)
+        assert not automaton.transitions[0].local_predicates
+        assert not automaton.transitions[1].local_predicates
+
+    def test_single_binding_predicate_on_own_transition(self):
+        automaton = _compile("SEQ(A a, B b) WHERE b.v > 5 WITHIN 10")
+        assert not automaton.transitions[0].local_predicates
+        assert automaton.transitions[1].local_predicates
+
+    def test_same_expands_pairwise_per_transition(self):
+        automaton = _compile("SEQ(A a, B b, C c) WHERE SAME[id] WITHIN 10")
+        # Transitions beyond the first must carry an equality with previous.
+        assert not automaton.transitions[0].local_predicates
+        for transition in automaton.transitions[1:]:
+            assert len(transition.local_predicates) == 1
+
+    def test_remote_predicate_classified_remote(self):
+        automaton = _compile("SEQ(A a, B b) WHERE b.v IN REMOTE[a.v] WITHIN 10")
+        last = automaton.transitions[-1]
+        assert len(last.remote_predicates) == 1
+        assert not last.local_predicates
+
+    def test_branch_local_condition_attaches_only_on_its_branch(self):
+        automaton = _compile(
+            "SEQ(A a, (SEQ(B b, C c) OR SEQ(D d, E e))) WHERE b.v > 1 WITHIN 10"
+        )
+        b_transitions = [t for t in automaton.transitions if t.binding == "b"]
+        d_transitions = [t for t in automaton.transitions if t.binding == "d"]
+        assert b_transitions[0].local_predicates
+        assert not d_transitions[0].local_predicates
+
+    def test_cross_branch_condition_rejected(self):
+        with pytest.raises(CompileError, match="never co-occur"):
+            _compile("SEQ(A a, (B b OR C c)) WHERE b.v < c.v WITHIN 10")
+
+
+class TestRemoteSites:
+    def test_site_key_bound_at_earlier_state(self):
+        automaton = _compile("SEQ(A a, B b, C c) WHERE c.v IN REMOTE[a.v] WITHIN 10")
+        (site,) = automaton.sites
+        assert site.prefetchable
+        assert site.bound_at.path_bindings == ("a",)
+        # Lookahead candidates: from the need (source of c's transition) back
+        # to the binding state of a.
+        assert [s.path_bindings for s in site.lookahead_states] == [("a", "b"), ("a",)]
+
+    def test_site_keyed_by_current_event_not_prefetchable(self):
+        automaton = _compile("SEQ(A a, B b) WHERE a.v IN REMOTE[b.v] WITHIN 10")
+        (site,) = automaton.sites
+        assert not site.prefetchable
+        assert site.bound_at is None
+        assert site.lookahead_states == ()
+
+    def test_two_refs_two_sites(self):
+        automaton = _compile(
+            "SEQ(A a, B b) WHERE REMOTE<r>[a.m] <> REMOTE<r>[b.m] WITHIN 10"
+        )
+        assert len(automaton.sites) == 2
+        prefetchable = [site for site in automaton.sites if site.prefetchable]
+        assert len(prefetchable) == 1
+        assert prefetchable[0].ref.key_binding == "a"
+
+
+class TestCompileErrors:
+    def test_duplicate_bindings_rejected(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            parse_query("SEQ(A x, B x) WITHIN 10")
+
+    def test_conflicting_types_for_shared_prefix(self):
+        from repro.query.ast import OrPattern
+
+        bad = OrPattern(
+            [
+                SeqPattern([EventAtom("A", "a"), EventAtom("B", "b")]),
+                SeqPattern([EventAtom("C", "a"), EventAtom("D", "d")]),
+            ]
+        )
+        with pytest.raises(CompileError, match="conflicting types"):
+            compile_query(Query(bad, [], Window.count(5)))
+
+    def test_describe_lists_structure(self):
+        automaton = _compile("SEQ(A a, B b) WHERE b.v IN REMOTE[a.v] WITHIN 10")
+        description = automaton.describe()
+        assert "q0" in description and "RemoteSite" in description

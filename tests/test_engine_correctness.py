@@ -1,0 +1,152 @@
+"""Engine semantics against the oracle reference matcher.
+
+The reference (``repro.engine.reference``) enumerates matches with zero
+latency and direct store access; the engine must detect exactly the same
+matches under every strategy — prefetching, postponement, and obligation
+splitting change *when* a match is detected, never *what* is detected.
+"""
+
+import pytest
+
+from repro.engine.reference import reference_match_signatures
+from repro.nfa.compiler import compile_query
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+
+from tests.helpers import make_abc_scenario, random_stream, run_eires
+
+ALL_STRATEGIES = ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid")
+POLICIES = ("greedy", "non_greedy")
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_matches_equal_reference(self, strategy, policy):
+        query, store = make_abc_scenario()
+        stream = random_stream(150, seed=11)
+        automaton = compile_query(query)
+        expected = reference_match_signatures(automaton, stream, store, policy)
+        result = run_eires(query, store, stream, strategy=strategy, policy=policy)
+        assert result.match_signatures() == expected
+        assert result.match_count == len(expected) or policy == "greedy"
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_multiple_seeds(self, policy):
+        query, store = make_abc_scenario()
+        automaton = compile_query(query)
+        for seed in (1, 2, 3, 4, 5):
+            stream = random_stream(100, seed=seed)
+            expected = reference_match_signatures(automaton, stream, store, policy)
+            result = run_eires(query, store, stream, strategy="Hybrid", policy=policy)
+            assert result.match_signatures() == expected, f"seed {seed}"
+
+    def test_greedy_enumerates_all_combinations(self):
+        # Deterministic micro-stream: A(id1) B(id1,v in set) B(id1, v in set) C(id1)
+        from repro.events.event import Event
+        from repro.events.stream import Stream
+
+        query, store = make_abc_scenario(set_members=frozenset({5}))
+        events = [
+            Event(10.0, {"type": "A", "id": 1, "v": 0}),
+            Event(20.0, {"type": "B", "id": 1, "v": 5}),
+            Event(30.0, {"type": "B", "id": 1, "v": 5}),
+            Event(40.0, {"type": "C", "id": 1, "v": 0}),
+        ]
+        result = run_eires(query, store, Stream(events), strategy="Hybrid", policy="greedy")
+        # Two B choices x one A x one C = 2 matches under skip-till-any.
+        assert result.match_count == 2
+
+    def test_non_greedy_takes_next_match_only(self):
+        from repro.events.event import Event
+        from repro.events.stream import Stream
+
+        query, store = make_abc_scenario(set_members=frozenset({5}))
+        events = [
+            Event(10.0, {"type": "A", "id": 1, "v": 0}),
+            Event(20.0, {"type": "B", "id": 1, "v": 5}),
+            Event(30.0, {"type": "B", "id": 1, "v": 5}),
+            Event(40.0, {"type": "C", "id": 1, "v": 0}),
+        ]
+        result = run_eires(query, store, Stream(events), strategy="Hybrid", policy="non_greedy")
+        # The run consumes the first B; the second B is not revisited.
+        assert result.match_count == 1
+        ((_, _), (b_binding, b_seq), (_, _)) = result.matches[0].signature()
+        assert b_binding == "b" and b_seq == 1
+
+    def test_remote_predicate_false_prevents_match(self):
+        from repro.events.event import Event
+        from repro.events.stream import Stream
+
+        query, store = make_abc_scenario(set_members=frozenset())  # nothing passes
+        events = [
+            Event(10.0, {"type": "A", "id": 1, "v": 0}),
+            Event(20.0, {"type": "B", "id": 1, "v": 5}),
+            Event(30.0, {"type": "C", "id": 1, "v": 0}),
+        ]
+        for strategy in ALL_STRATEGIES:
+            result = run_eires(query, store, Stream(events), strategy=strategy)
+            assert result.match_count == 0, strategy
+
+    def test_window_prunes_matches(self):
+        from repro.events.event import Event
+        from repro.events.stream import Stream
+
+        query = parse_query(
+            "SEQ(A a, B b) WHERE SAME[id] WITHIN 100 us", name="windowed"
+        )
+        store = RemoteStore()
+        events = [
+            Event(0.0, {"type": "A", "id": 1}),
+            Event(50.0, {"type": "B", "id": 1}),   # inside the window
+            Event(200.0, {"type": "A", "id": 2}),
+            Event(400.0, {"type": "B", "id": 2}),  # outside the window
+        ]
+        result = run_eires(query, store, Stream(events), strategy="BL2")
+        assert result.match_count == 1
+
+
+class TestStrategyEquivalence:
+    """All six strategies agree pairwise on realistic random workloads."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_strategies_same_match_set(self, policy):
+        query, store = make_abc_scenario()
+        stream = random_stream(250, seed=99, id_domain=4)
+        baseline = None
+        for strategy in ALL_STRATEGIES:
+            result = run_eires(query, store, stream, strategy=strategy, policy=policy)
+            signatures = result.match_signatures()
+            if baseline is None:
+                baseline = signatures
+            assert signatures == baseline, f"{strategy} diverges under {policy}"
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_match_multiplicity_preserved_greedy(self, strategy):
+        # Under the greedy policy, distinct matches are distinct signatures,
+        # so count must equal signature-set size for every strategy.
+        query, store = make_abc_scenario()
+        stream = random_stream(200, seed=7)
+        result = run_eires(query, store, stream, strategy=strategy, policy="greedy")
+        assert result.match_count == len(result.match_signatures())
+
+    def test_small_cache_does_not_change_matches(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(200, seed=3)
+        large = run_eires(query, store, stream, strategy="Hybrid", cache_capacity=1000)
+        tiny = run_eires(query, store, stream, strategy="Hybrid", cache_capacity=2)
+        assert large.match_signatures() == tiny.match_signatures()
+
+    def test_lru_and_cost_cache_same_matches(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(200, seed=5)
+        cost = run_eires(query, store, stream, strategy="Hybrid", cache_policy="cost")
+        lru = run_eires(query, store, stream, strategy="Hybrid", cache_policy="lru")
+        assert cost.match_signatures() == lru.match_signatures()
+
+    def test_noise_does_not_change_matches(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(200, seed=5)
+        clean = run_eires(query, store, stream, strategy="Hybrid")
+        noisy = run_eires(query, store, stream, strategy="Hybrid", noise_ratio=0.9)
+        assert clean.match_signatures() == noisy.match_signatures()

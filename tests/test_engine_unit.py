@@ -1,0 +1,168 @@
+"""Unit tests for engine internals: runs, obligations, policies, shedding."""
+
+import pytest
+
+from repro.engine.engine import Engine, GREEDY, NON_GREEDY
+from repro.engine.interface import CostModel
+from repro.events.event import Event
+from repro.events.stream import Stream
+from repro.nfa.compiler import compile_query
+from repro.nfa.run import Obligation, Run
+from repro.query.parser import parse_query
+from repro.query.predicates import Attr, Comparison, Const
+from repro.sim.clock import VirtualClock
+
+from tests.helpers import make_abc_scenario, random_stream, run_eires
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        model = CostModel()
+        assert model.per_guard_cost > 0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(base_event_cost=-1.0)
+
+    def test_engine_charges_base_cost_per_event(self):
+        query, store = make_abc_scenario()
+        cheap = run_eires(query, store, random_stream(50, seed=1), strategy="BL2")
+        assert cheap.engine_stats["events_processed"] == 50
+
+
+class TestRunStructure:
+    def _automaton(self):
+        return compile_query(parse_query("SEQ(A a, B b) WITHIN 100", name="t"))
+
+    def test_start_and_extend(self):
+        automaton = self._automaton()
+        first = Event(5.0, {"type": "A"}, seq=0)
+        run = Run.start(automaton.states[1], "a", first, created_at=5.0)
+        assert run.first_t == 5.0
+        assert run.env["a"] is first
+
+        second = Event(9.0, {"type": "B"}, seq=1)
+        transition = automaton.states[1].transitions[0]
+        extended = run.extend(transition, second, (), created_at=9.5)
+        assert extended.state.is_final
+        assert extended.env["b"] is second
+        # The original run is untouched (greedy split keeps it alive).
+        assert "b" not in run.env
+        assert extended.run_id != run.run_id
+
+    def test_obligation_requires_predicates(self):
+        with pytest.raises(ValueError):
+            Obligation((), negated=False, issued_at=0.0, env={})
+
+    def test_add_obligations(self):
+        automaton = self._automaton()
+        run = Run.start(automaton.states[1], "a", Event(1.0, {"type": "A"}, seq=0), 1.0)
+        predicate = Comparison("=", Const(1), Const(1))
+        run.add_obligations((Obligation((predicate,), False, 0.0, env={}),))
+        assert run.has_obligations
+        assert len(run.obligations) == 1
+
+
+class TestSelectionPolicies:
+    def test_invalid_policy_rejected(self):
+        automaton = compile_query(parse_query("SEQ(A a, B b) WITHIN 10", name="t"))
+        with pytest.raises(ValueError):
+            Engine(automaton, VirtualClock(), policy="eager")
+
+    def test_greedy_splits_on_every_match(self):
+        query, store = make_abc_scenario()
+        events = Stream(
+            [Event(10.0 * (i + 1), {"type": "ABC"[i % 3], "id": 1, "v": 1}) for i in range(9)]
+        )
+        greedy = run_eires(query, store, events, policy=GREEDY)
+        non_greedy = run_eires(query, store, events, policy=NON_GREEDY)
+        assert greedy.match_count > non_greedy.match_count
+
+    def test_runs_consumed_only_non_greedy(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(100, seed=9)
+        greedy = run_eires(query, store, stream, policy=GREEDY)
+        non_greedy = run_eires(query, store, stream, policy=NON_GREEDY)
+        assert greedy.engine_stats["runs_consumed"] == 0
+        assert non_greedy.engine_stats["runs_consumed"] > 0
+
+
+class TestWindowExpiry:
+    def test_time_window_expires_runs(self):
+        query = parse_query("SEQ(A a, B b) WHERE SAME[id] WITHIN 50 us", name="t")
+        _, store = make_abc_scenario()
+        events = Stream(
+            [Event(float(i) * 40.0, {"type": "A", "id": i, "v": 1}) for i in range(1, 40)]
+        )
+        result = run_eires(query, store, events)
+        assert result.engine_stats["runs_expired"] > 0
+        # No runs linger at the end beyond the flush.
+        assert result.match_count == 0
+
+    def test_count_window_expires_runs(self):
+        query = parse_query("SEQ(A a, B b) WHERE SAME[id] WITHIN 3 EVENTS", name="t")
+        _, store = make_abc_scenario()
+        events = [Event(float(i), {"type": "A", "id": 1, "v": 1}, seq=i) for i in range(10)]
+        events.append(Event(11.0, {"type": "B", "id": 1, "v": 1}))
+        result = run_eires(query, store, Stream(events))
+        # Only the last three A's are within 3 events of the B.
+        assert result.match_count == 3
+
+
+class TestLoadShedding:
+    def test_shedding_caps_active_runs(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(300, seed=23)
+        capped = run_eires(query, store, stream, max_partial_matches=20)
+        assert capped.engine_stats["peak_active_runs"] <= 21
+        assert capped.engine_stats["shed_runs"] > 0
+
+    def test_default_has_no_shedding(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(300, seed=23)
+        result = run_eires(query, store, stream)
+        assert result.engine_stats["shed_runs"] == 0
+
+
+class TestMatchRecord:
+    def test_latency_and_signature(self):
+        from repro.engine.interface import MatchRecord
+
+        events = {
+            "a": Event(10.0, {"type": "A"}, seq=0),
+            "b": Event(30.0, {"type": "B"}, seq=4),
+        }
+        record = MatchRecord(events, last_event_t=30.0, detected_at=42.5)
+        assert record.latency == 12.5
+        assert record.signature() == (("a", 0), ("b", 4))
+
+    def test_matches_record_positive_latency(self):
+        query, store = make_abc_scenario()
+        result = run_eires(query, store, random_stream(120, seed=3))
+        assert result.match_count > 0
+        for match in result.matches:
+            assert match.latency > 0.0
+
+
+class TestEngineAccounting:
+    def test_stats_are_consistent(self):
+        query, store = make_abc_scenario()
+        result = run_eires(query, store, random_stream(200, seed=8))
+        stats = result.engine_stats
+        assert stats["events_processed"] == 200
+        assert stats["guard_evaluations"] >= stats["runs_created"]
+        assert stats["matches_emitted"] == result.match_count
+
+    def test_flush_reports_all_runs_dropped(self):
+        # After a run, utility bookkeeping must return to zero: every created
+        # run was dropped through some path (extension consumption, expiry,
+        # failure, or the final flush).
+        query, store = make_abc_scenario()
+        from repro.core.framework import EIRES
+        from repro.core.config import EiresConfig
+        from repro.remote.transport import FixedLatency
+
+        eires = EIRES(query, store, FixedLatency(10.0), strategy="Hybrid",
+                      config=EiresConfig(cache_capacity=50))
+        eires.run(random_stream(150, seed=4))
+        assert eires.utility._uu_runs == {}

@@ -1,0 +1,118 @@
+"""Unit tests for latency/throughput metrics and report tables."""
+
+import pytest
+
+from repro.metrics.latency import LatencyCollector, percentile
+from repro.metrics.reporting import format_comparison, format_table, speedups
+from repro.metrics.throughput import ThroughputMeter
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_median_of_two(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_interpolation_matches_numpy_convention(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 25) == pytest.approx(17.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyCollector:
+    def test_records_and_reports(self):
+        collector = LatencyCollector()
+        collector.record_all([5.0, 1.0, 3.0])
+        assert len(collector) == 3
+        assert collector.median() == 3.0
+
+    def test_default_percentile_set(self):
+        collector = LatencyCollector()
+        collector.record_all(float(i) for i in range(1, 101))
+        summary = collector.percentiles()
+        assert set(summary) == {5, 25, 50, 75, 95}
+        assert summary[5] < summary[25] < summary[50] < summary[75] < summary[95]
+
+    def test_empty_reports_zeroes(self):
+        assert LatencyCollector().percentiles() == {5: 0.0, 25: 0.0, 50: 0.0, 75: 0.0, 95: 0.0}
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyCollector().record(-0.1)
+
+    def test_mean(self):
+        collector = LatencyCollector()
+        collector.record_all([2.0, 4.0])
+        assert collector.mean() == 3.0
+        assert LatencyCollector().mean() == 0.0
+
+    def test_smoothing_damps_spikes(self):
+        raw = LatencyCollector(smoothing_window=1)
+        smooth = LatencyCollector(smoothing_window=10)
+        samples = [1.0] * 50 + [1000.0] + [1.0] * 49
+        raw.record_all(samples)
+        smooth.record_all(samples)
+        # The isolated spike survives untouched in the raw view but is
+        # averaged down by the sliding window.
+        assert raw.percentiles((100,))[100] == 1000.0
+        assert smooth.percentiles((100,))[100] < 150.0
+
+    def test_invalid_smoothing_window(self):
+        with pytest.raises(ValueError):
+            LatencyCollector(smoothing_window=0)
+
+
+class TestThroughputMeter:
+    def test_needs_two_events(self):
+        meter = ThroughputMeter()
+        assert meter.events_per_second() == 0.0
+        meter.record_event(0.0)
+        assert meter.events_per_second() == 0.0
+
+    def test_events_per_virtual_second(self):
+        meter = ThroughputMeter()
+        for i in range(11):
+            meter.record_event(i * 10.0)  # 10 us apart -> 100k events/s
+        assert meter.events_per_second() == pytest.approx(100_000.0)
+        assert meter.events == 11
+        assert meter.elapsed_us == 100.0
+
+
+class TestReporting:
+    ROWS = [
+        {"strategy": "BL1", "p50": 100.0, "matches": 5},
+        {"strategy": "Hybrid", "p50": 4.0, "matches": 5},
+    ]
+
+    def test_format_table_contains_cells(self):
+        table = format_table("Fig X", self.ROWS, ("strategy", "p50"))
+        assert "Fig X" in table
+        assert "BL1" in table and "Hybrid" in table
+        assert "100.00" in table
+
+    def test_speedups(self):
+        factors = speedups(self.ROWS, "p50")
+        assert factors == {"BL1": pytest.approx(25.0)}
+
+    def test_speedups_missing_subject(self):
+        assert speedups([{"strategy": "BL1", "p50": 1.0}], "p50") == {}
+
+    def test_format_comparison(self):
+        line = format_comparison(self.ROWS)
+        assert "BL1: 25.0x" in line
+
+    def test_format_comparison_no_data(self):
+        assert "no p50" in format_comparison([])

@@ -1,0 +1,146 @@
+"""Unit tests for the SASE-style query parser."""
+
+import pytest
+
+from repro.query.ast import EventAtom, OrPattern, SeqPattern, Window
+from repro.query.errors import ParseError
+from repro.query.parser import parse_pattern, parse_query
+from repro.query.predicates import Comparison, Membership, RemoteRef, SameAttribute
+
+
+class TestPatternParsing:
+    def test_single_atom(self):
+        pattern = parse_pattern("A a")
+        assert isinstance(pattern, EventAtom)
+        assert pattern.event_type == "A"
+        assert pattern.binding == "a"
+
+    def test_flat_sequence(self):
+        pattern = parse_pattern("SEQ(A a, B b, C c)")
+        assert isinstance(pattern, SeqPattern)
+        assert [atom.binding for atom in pattern.atoms()] == ["a", "b", "c"]
+
+    def test_nested_or(self):
+        pattern = parse_pattern("SEQ(A a, (SEQ(B b, C c) OR SEQ(D d, E e)))")
+        sequences = pattern.binding_sequences()
+        assert [[atom.binding for atom in seq] for seq in sequences] == [
+            ["a", "b", "c"],
+            ["a", "d", "e"],
+        ]
+
+    def test_single_element_seq_collapses(self):
+        pattern = parse_pattern("SEQ(A a)")
+        assert isinstance(pattern, EventAtom)
+
+    def test_or_at_top_level(self):
+        pattern = parse_pattern("(A a OR B b)")
+        assert isinstance(pattern, OrPattern)
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_pattern("SEQ(A a, B b")
+
+
+class TestConditionParsing:
+    def test_same_attribute(self):
+        query = parse_query("SEQ(A a, B b) WHERE SAME[id] WITHIN 10")
+        assert any(isinstance(c, SameAttribute) and c.attr == "id" for c in query.conditions)
+
+    def test_comparison_with_k_suffix(self):
+        query = parse_query("SEQ(A a, B b) WHERE a.vol > 10k WITHIN 10")
+        comparison = query.conditions[0]
+        assert isinstance(comparison, Comparison)
+        assert comparison.right.value == 10_000
+
+    def test_m_suffix(self):
+        query = parse_query("SEQ(A a, B b) WHERE a.vol < 2M WITHIN 10")
+        assert query.conditions[0].right.value == 2_000_000
+
+    def test_membership_not_in_remote(self):
+        query = parse_query("SEQ(A a, B b) WHERE (b.loc NOT IN REMOTE[a.user]) WITHIN 10")
+        membership = query.conditions[0]
+        assert isinstance(membership, Membership)
+        assert membership.negated
+        refs = membership.remote_refs()
+        assert len(refs) == 1
+        assert refs[0].source == "user"  # default source = key attribute
+
+    def test_explicit_remote_source(self):
+        query = parse_query("SEQ(A a, B b) WHERE b.loc IN REMOTE<locations>[a.user] WITHIN 10")
+        ref = query.conditions[0].remote_refs()[0]
+        assert ref.source == "locations"
+        assert ref.key_binding == "a"
+
+    def test_remote_on_both_sides(self):
+        query = parse_query(
+            "SEQ(A a, B b) WHERE REMOTE<r>[a.m] <> REMOTE<r>[b.m] WITHIN 10"
+        )
+        assert len(query.conditions[0].remote_refs()) == 2
+
+    def test_string_literal(self):
+        query = parse_query("SEQ(A a, B b) WHERE a.name = 'alice' WITHIN 10")
+        assert query.conditions[0].right.value == "alice"
+
+    def test_condition_referencing_unknown_binding_rejected(self):
+        with pytest.raises(Exception, match="unknown bindings"):
+            parse_query("SEQ(A a, B b) WHERE z.v > 1 WITHIN 10")
+
+
+class TestWindowParsing:
+    def test_time_window_minutes(self):
+        query = parse_query("SEQ(A a, B b) WITHIN 5min")
+        assert query.window.kind == Window.TIME
+        assert query.window.value == 5 * 60e6
+
+    def test_time_window_milliseconds(self):
+        query = parse_query("SEQ(A a, B b) WITHIN 25ms")
+        assert query.window.value == 25_000.0
+
+    def test_count_window_bare_number(self):
+        query = parse_query("SEQ(A a, B b) WITHIN 50K")
+        assert query.window.kind == Window.COUNT
+        assert query.window.value == 50_000
+
+    def test_count_window_events_unit(self):
+        query = parse_query("SEQ(A a, B b) WITHIN 300 EVENTS")
+        assert query.window.value == 300
+
+    def test_default_window_when_absent(self):
+        query = parse_query("SEQ(A a, B b)")
+        assert query.window.kind == Window.COUNT
+
+    def test_window_admits_time(self):
+        window = Window.time(100.0)
+        assert window.admits(0.0, 0, 100.0, 5)
+        assert not window.admits(0.0, 0, 100.1, 5)
+
+    def test_window_admits_count(self):
+        window = Window.count(10)
+        assert window.admits(0.0, 0, 999.0, 10)
+        assert not window.admits(0.0, 0, 999.0, 11)
+
+
+class TestListingQueries:
+    def test_listing1_fraud_query_parses(self):
+        query = parse_query(
+            """
+            SEQ(T t1, (SEQ(D d, T t2) OR SEQ(L l, T t3)))
+            WHERE SAME[cc] AND t1.vol > 10k AND t2.vol > 10k
+            AND t1.loc <> t2.loc AND (t2.loc NOT IN REMOTE[t1.user])
+            AND l.limit > REMOTE[t1.org]
+            AND t3.vol > 50k AND (t3.ben NOT IN REMOTE[t3.org])
+            WITHIN 5min
+            """,
+            name="fraud",
+        )
+        assert query.bindings == ("t1", "d", "t2", "l", "t3")
+        assert len(query.conditions) == 8
+
+    def test_whitespace_and_case_insensitive_keywords(self):
+        query = parse_query("seq(A a, B b) where a.v > 1 within 10ms")
+        assert query.window.value == 10_000.0
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("SEQ(A a, B b) WHERE ??? WITHIN 10")
+        assert excinfo.value.position is not None

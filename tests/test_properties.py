@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cost_based import CostBasedCache
+from repro.cache.lru import LRUCache
+from repro.engine.reference import reference_match_signatures
+from repro.metrics.latency import percentile
+from repro.nfa.compiler import compile_query
+from repro.remote.element import DataElement
+from repro.sim.rng import stable_hash
+from repro.sim.scheduler import FutureScheduler
+
+from tests.helpers import make_abc_scenario, random_stream, run_eires
+
+# -- caches ---------------------------------------------------------------
+
+cache_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get"]),
+        st.integers(min_value=0, max_value=30),  # key
+        st.integers(min_value=1, max_value=4),  # size (put only)
+        st.booleans(),  # certain (put only)
+    ),
+    max_size=120,
+)
+
+
+@given(capacity=st.integers(min_value=1, max_value=12), ops=cache_ops)
+@settings(max_examples=150, deadline=None)
+def test_lru_capacity_never_exceeded(capacity, ops):
+    cache = LRUCache(capacity)
+    for index, (op, key, size, _certain) in enumerate(ops):
+        if op == "put":
+            cache.put(DataElement(("s", key), key, size=size), float(index))
+        else:
+            cache.get(("s", key), float(index))
+        assert cache.used <= capacity
+        assert cache.used == sum(
+            cache._entries[k].total_size() for k in cache.keys()
+        )
+
+
+@given(capacity=st.integers(min_value=1, max_value=12), ops=cache_ops)
+@settings(max_examples=150, deadline=None)
+def test_cost_cache_capacity_never_exceeded(capacity, ops):
+    utilities = {}
+    cache = CostBasedCache(capacity, utility_fn=lambda key: utilities.get(key, 0.0))
+    for index, (op, key, size, certain) in enumerate(ops):
+        utilities[("s", key)] = float((key * 7) % 13)
+        if op == "put":
+            cache.put(DataElement(("s", key), key, size=size), float(index), certain=certain)
+        else:
+            cache.get(("s", key), float(index))
+        assert cache.used <= capacity
+
+
+@given(ops=cache_ops)
+@settings(max_examples=80, deadline=None)
+def test_cache_get_returns_what_was_put(ops):
+    cache = LRUCache(1000)  # big enough: no eviction
+    stored = {}
+    for index, (op, key, size, _certain) in enumerate(ops):
+        if op == "put":
+            element = DataElement(("s", key), f"value-{key}", size=size)
+            cache.put(element, float(index))
+            stored[("s", key)] = element
+        else:
+            hit = cache.get(("s", key), float(index))
+            if ("s", key) in stored:
+                assert hit is stored[("s", key)]
+            else:
+                assert hit is None
+
+
+# -- scheduler -------------------------------------------------------------
+
+
+@given(dues=st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_scheduler_pops_in_nondecreasing_due_order(dues):
+    scheduler = FutureScheduler()
+    for due in dues:
+        scheduler.schedule(due, due)
+    drained = list(scheduler.drain())
+    assert drained == sorted(drained)
+
+
+@given(
+    dues=st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=40),
+    horizon=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_scheduler_pop_due_boundary(dues, horizon):
+    scheduler = FutureScheduler()
+    for due in dues:
+        scheduler.schedule(due, due)
+    popped = list(scheduler.pop_due(horizon))
+    assert all(value <= horizon for value in popped)
+    assert len(popped) == sum(1 for due in dues if due <= horizon)
+
+
+# -- percentiles -------------------------------------------------------------
+
+
+@given(
+    values=st.lists(st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=1, max_size=200),
+    q=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_percentile_bounded_and_monotone(values, q):
+    ordered = sorted(values)
+    result = percentile(ordered, q)
+    assert ordered[0] <= result <= ordered[-1]
+    if q >= 50:
+        assert result >= percentile(ordered, q - 50)
+
+
+# -- stable hashing -----------------------------------------------------------
+
+hashable_parts = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        st.text(max_size=12),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.tuples(children, children),
+    max_leaves=6,
+)
+
+
+@given(part=hashable_parts)
+@settings(max_examples=200, deadline=None)
+def test_stable_hash_deterministic_and_bounded(part):
+    first = stable_hash(part)
+    second = stable_hash(part)
+    assert first == second
+    assert 0 <= first < 2**64
+
+
+@given(a=st.integers(min_value=0, max_value=10**6), b=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_stable_hash_order_sensitive(a, b):
+    if a != b:
+        assert stable_hash(a, b) != stable_hash(b, a)
+
+
+# -- end-to-end: engine vs. oracle reference -----------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy=st.sampled_from(["greedy", "non_greedy"]),
+    strategy=st.sampled_from(["BL1", "BL3", "Hybrid"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_engine_matches_reference_on_random_streams(seed, policy, strategy):
+    query, store = make_abc_scenario()
+    stream = random_stream(60, seed=seed, id_domain=2, v_domain=6)
+    automaton = compile_query(query)
+    expected = reference_match_signatures(automaton, stream, store, policy)
+    result = run_eires(query, store, stream, strategy=strategy, policy=policy)
+    assert result.match_signatures() == expected
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_latencies_are_nonnegative_and_finite(seed):
+    query, store = make_abc_scenario()
+    stream = random_stream(80, seed=seed)
+    result = run_eires(query, store, stream, strategy="Hybrid")
+    for match in result.matches:
+        assert 0.0 <= match.latency < 1e12
+
+
+# -- virtual clock monotonicity under arbitrary strategy/workload mixes --------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    strategy=st.sampled_from(["BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_detection_times_nondecreasing(seed, strategy):
+    query, store = make_abc_scenario()
+    stream = random_stream(80, seed=seed)
+    result = run_eires(query, store, stream, strategy=strategy)
+    detected = [match.detected_at for match in result.matches]
+    assert detected == sorted(detected)

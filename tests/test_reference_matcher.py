@@ -1,0 +1,84 @@
+"""Direct tests of the oracle reference matcher itself."""
+
+import pytest
+
+from repro.engine.reference import reference_match_signatures
+from repro.events.event import Event
+from repro.events.stream import Stream
+from repro.nfa.compiler import compile_query
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+
+
+def build(query_text):
+    return compile_query(parse_query(query_text, name="ref"))
+
+
+def stream_of(*specs):
+    events = []
+    for index, (event_type, attrs) in enumerate(specs):
+        events.append(Event(float(index + 1) * 10.0, {"type": event_type, **attrs}))
+    return Stream(events)
+
+
+class TestGreedyEnumeration:
+    def test_counts_all_combinations(self):
+        automaton = build("SEQ(A a, B b) WITHIN 1000")
+        stream = stream_of(("A", {}), ("A", {}), ("B", {}), ("B", {}))
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "greedy")
+        assert len(matches) == 4  # 2 A's x 2 B's
+
+    def test_order_preservation(self):
+        automaton = build("SEQ(A a, B b) WITHIN 1000")
+        stream = stream_of(("B", {}), ("A", {}))
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "greedy")
+        assert matches == set()
+
+    def test_window_bound(self):
+        automaton = build("SEQ(A a, B b) WITHIN 15 us")
+        stream = stream_of(("A", {}), ("B", {}), ("B", {}))  # t=10,20,30
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "greedy")
+        assert len(matches) == 1  # only the B at t=20 is within 15us of A
+
+    def test_remote_predicate_respected(self):
+        automaton = build("SEQ(A a, B b) WHERE b.v IN REMOTE<r>[a.k] WITHIN 1000")
+        store = RemoteStore()
+        store.put("r", 1, frozenset({5}))
+        stream = stream_of(("A", {"k": 1}), ("B", {"v": 5}), ("B", {"v": 6}))
+        matches = reference_match_signatures(automaton, store=store, stream=stream, policy="greedy")
+        assert len(matches) == 1
+
+    def test_or_branches(self):
+        automaton = build("SEQ(A a, (B b OR C c)) WITHIN 1000")
+        stream = stream_of(("A", {}), ("B", {}), ("C", {}))
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "greedy")
+        assert len(matches) == 2
+
+
+class TestNonGreedySimulation:
+    def test_takes_first_satisfying_event(self):
+        automaton = build("SEQ(A a, B b) WITHIN 1000")
+        stream = stream_of(("A", {}), ("B", {}), ("B", {}))
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "non_greedy")
+        assert len(matches) == 1
+        ((_, _), (_, b_seq)) = sorted(next(iter(matches)))
+        assert b_seq == 1
+
+    def test_skips_non_matching_events(self):
+        automaton = build("SEQ(A a, B b) WHERE b.v > 5 WITHIN 1000")
+        stream = stream_of(("A", {"v": 0}), ("B", {"v": 1}), ("B", {"v": 9}))
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "non_greedy")
+        assert len(matches) == 1
+        ((_, _), (_, b_seq)) = sorted(next(iter(matches)))
+        assert b_seq == 2
+
+    def test_each_start_event_opens_a_run(self):
+        automaton = build("SEQ(A a, B b) WITHIN 1000")
+        stream = stream_of(("A", {}), ("A", {}), ("B", {}))
+        matches = reference_match_signatures(automaton, stream, RemoteStore(), "non_greedy")
+        assert len(matches) == 2  # both A-runs consume the single B
+
+    def test_unknown_policy_rejected(self):
+        automaton = build("SEQ(A a, B b) WITHIN 1000")
+        with pytest.raises(ValueError):
+            reference_match_signatures(automaton, Stream([]), RemoteStore(), "eager")

@@ -1,0 +1,206 @@
+"""Unit tests for the remote-data substrate."""
+
+import pytest
+
+from repro.remote.element import DataElement
+from repro.remote.monitor import LatencyMonitor
+from repro.remote.store import MISSING_VALUE, RemoteStore
+from repro.remote.transport import (
+    FixedLatency,
+    PerSourceLatency,
+    Transport,
+    UniformLatency,
+)
+from repro.sim.rng import make_rng
+
+
+class TestDataElement:
+    def test_hierarchy_construction(self):
+        org = DataElement(("s", "org"), "o", size=0)
+        user = DataElement(("s", "user"), "u", size=0, parent=org)
+        card = DataElement(("s", "card"), "c", size=2, parent=user)
+        assert list(card.ancestors()) == [card, user, org]
+        assert {d.key for d in org.descendants()} == {("s", "org"), ("s", "user"), ("s", "card")}
+
+    def test_total_size_sums_descendants(self):
+        org = DataElement(("s", "org"), "o", size=1)
+        DataElement(("s", "u1"), "u", size=2, parent=org)
+        DataElement(("s", "u2"), "u", size=3, parent=org)
+        assert org.total_size() == 6
+
+    def test_reparenting_rejected(self):
+        a = DataElement(("s", "a"), 1)
+        b = DataElement(("s", "b"), 1)
+        child = DataElement(("s", "c"), 1, parent=a)
+        with pytest.raises(ValueError, match="already has a container"):
+            b.add_child(child)
+
+    def test_containment_cycle_rejected(self):
+        a = DataElement(("s", "a"), 1)
+        b = DataElement(("s", "b"), 1, parent=a)
+        with pytest.raises(ValueError, match="cycle"):
+            b.add_child(a)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataElement(("s", "a"), 1, size=-1)
+
+
+class TestRemoteStore:
+    def test_put_and_get(self):
+        store = RemoteStore()
+        store.put("tbl", 1, "value")
+        assert store.get("tbl", 1).value == "value"
+        assert ("tbl", 1) in store
+
+    def test_missing_key_yields_empty_sentinel(self):
+        store = RemoteStore()
+        elem = store.lookup(("tbl", 99))
+        assert elem.value == MISSING_VALUE
+        assert "x" not in elem.value
+
+    def test_virtual_source_factory(self):
+        store = RemoteStore()
+        store.register_source("sq", lambda key: key * key)
+        assert store.lookup(("sq", 7)).value == 49
+
+    def test_virtual_source_memoises(self):
+        calls = []
+        store = RemoteStore()
+        store.register_source("t", lambda key: calls.append(key) or key)
+        store.lookup(("t", 1))
+        store.lookup(("t", 1))
+        assert calls == [1]
+
+    def test_register_source_invalid_size(self):
+        with pytest.raises(ValueError):
+            RemoteStore().register_source("x", lambda k: k, size=0)
+
+    def test_put_all_and_sources(self):
+        store = RemoteStore()
+        store.put_all("a", [(1, "x"), (2, "y")])
+        store.put("b", 1, "z")
+        assert store.sources() == {"a", "b"}
+        assert len(store) == 3
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(5.0)
+        assert model.sample(("s", 1), make_rng(1)) == 5.0
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+
+    def test_uniform_in_range(self):
+        model = UniformLatency(10.0, 100.0)
+        rng = make_rng(2)
+        for _ in range(200):
+            assert 10.0 <= model.sample(("s", 1), rng) <= 100.0
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(10.0, 5.0)
+
+    def test_per_source_dispatch(self):
+        model = PerSourceLatency({"fast": FixedLatency(1.0)}, default=FixedLatency(9.0))
+        rng = make_rng(3)
+        assert model.sample(("fast", 1), rng) == 1.0
+        assert model.sample(("slow", 1), rng) == 9.0
+
+    def test_per_source_without_default_raises(self):
+        model = PerSourceLatency({})
+        with pytest.raises(KeyError):
+            model.sample(("unknown", 1), make_rng(1))
+
+
+class TestTransport:
+    def _transport(self, latency=10.0):
+        store = RemoteStore()
+        store.put("t", 1, "one")
+        store.put("t", 2, "two")
+        return Transport(store, FixedLatency(latency), make_rng(5))
+
+    def test_blocking_fetch_latency(self):
+        transport = self._transport(25.0)
+        request = transport.fetch_blocking(("t", 1), now=100.0)
+        assert request.arrives_at == 125.0
+        assert request.element.value == "one"
+        assert transport.blocking_fetches == 1
+
+    def test_async_fetch_tracked_until_delivered(self):
+        transport = self._transport(10.0)
+        transport.fetch_async(("t", 1), now=0.0)
+        assert transport.pending_count() == 1
+        assert transport.deliver_due(5.0) == []
+        delivered = transport.deliver_due(10.0)
+        assert [req.key for req in delivered] == [("t", 1)]
+        assert transport.pending_count() == 0
+
+    def test_async_coalesces_duplicate_requests(self):
+        transport = self._transport()
+        first = transport.fetch_async(("t", 1), now=0.0)
+        second = transport.fetch_async(("t", 1), now=3.0)
+        assert first is second
+        assert transport.coalesced == 1
+        assert transport.async_fetches == 1
+
+    def test_blocking_joins_in_flight_request(self):
+        transport = self._transport(10.0)
+        async_request = transport.fetch_async(("t", 1), now=0.0)
+        blocking = transport.fetch_blocking(("t", 1), now=8.0)
+        assert blocking is async_request
+        assert transport.blocking_fetches == 0
+
+    def test_delivery_sorted_by_arrival(self):
+        store = RemoteStore()
+        store.put("t", 1, "a")
+        store.put("t", 2, "b")
+        latencies = iter([30.0, 10.0])
+
+        class SeqLatency(FixedLatency):
+            def __init__(self):
+                super().__init__(0.0)
+
+            def sample(self, key, rng):
+                return next(latencies)
+
+        transport = Transport(store, SeqLatency(), make_rng(1))
+        transport.fetch_async(("t", 1), 0.0)  # arrives at 30
+        transport.fetch_async(("t", 2), 0.0)  # arrives at 10
+        delivered = transport.deliver_due(100.0)
+        assert [req.key for req in delivered] == [("t", 2), ("t", 1)]
+
+    def test_monitor_records_observations(self):
+        transport = self._transport(42.0)
+        transport.fetch_blocking(("t", 1), 0.0)
+        assert transport.monitor.estimate(("t", 1)) == 42.0
+
+
+class TestLatencyMonitor:
+    def test_prior_before_observations(self):
+        monitor = LatencyMonitor(prior=50.0)
+        assert monitor.estimate(("s", 1)) == 50.0
+
+    def test_key_estimate_tracks_observations(self):
+        monitor = LatencyMonitor(alpha=0.5)
+        monitor.record(("s", 1), 100.0)
+        monitor.record(("s", 1), 50.0)
+        assert monitor.estimate(("s", 1)) == pytest.approx(75.0)
+
+    def test_source_fallback_for_unseen_key(self):
+        monitor = LatencyMonitor()
+        monitor.record(("s", 1), 80.0)
+        assert monitor.estimate(("s", 999)) == pytest.approx(80.0)
+        assert monitor.estimate_source("s") == pytest.approx(80.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMonitor().record(("s", 1), -1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyMonitor(alpha=0.0)
+        with pytest.raises(ValueError):
+            LatencyMonitor(prior=0.0)

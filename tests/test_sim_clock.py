@@ -1,0 +1,65 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock(1.0)
+        assert clock.advance(2.0) == 3.0
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock(7.0)
+        clock.advance(0.0)
+        assert clock.now == 7.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(3.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_returns_current_time(self):
+        clock = VirtualClock(10.0)
+        assert clock.advance_to(3.0) == 10.0
+        assert clock.advance_to(12.0) == 12.0
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(100.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_to_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().reset(-5.0)
+
+    def test_repr_mentions_time(self):
+        assert "12.5" in repr(VirtualClock(12.5))

@@ -1,0 +1,71 @@
+"""Unit tests for the future-completion scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import FutureScheduler
+
+
+class TestFutureScheduler:
+    def test_empty_scheduler(self):
+        scheduler = FutureScheduler()
+        assert len(scheduler) == 0
+        assert not scheduler
+        assert scheduler.peek_due() is None
+        assert list(scheduler.pop_due(100.0)) == []
+
+    def test_negative_due_time_rejected(self):
+        with pytest.raises(ValueError):
+            FutureScheduler().schedule(-1.0, "x")
+
+    def test_pop_due_returns_only_ripe_items(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(10.0, "early")
+        scheduler.schedule(20.0, "late")
+        assert list(scheduler.pop_due(15.0)) == ["early"]
+        assert len(scheduler) == 1
+
+    def test_pop_due_inclusive_boundary(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(10.0, "exact")
+        assert list(scheduler.pop_due(10.0)) == ["exact"]
+
+    def test_ordering_by_due_time(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(30.0, "c")
+        scheduler.schedule(10.0, "a")
+        scheduler.schedule(20.0, "b")
+        assert list(scheduler.pop_due(100.0)) == ["a", "b", "c"]
+
+    def test_fifo_tie_break_for_equal_due_times(self):
+        scheduler = FutureScheduler()
+        for label in ("first", "second", "third"):
+            scheduler.schedule(5.0, label)
+        assert list(scheduler.pop_due(5.0)) == ["first", "second", "third"]
+
+    def test_peek_due_smallest(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(50.0, "x")
+        scheduler.schedule(7.0, "y")
+        assert scheduler.peek_due() == 7.0
+
+    def test_partial_consumption_keeps_heap_consistent(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(1.0, "a")
+        scheduler.schedule(2.0, "b")
+        iterator = scheduler.pop_due(10.0)
+        assert next(iterator) == "a"
+        del iterator
+        assert list(scheduler.pop_due(10.0)) == ["b"]
+
+    def test_drain_empties_in_order(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(2.0, "b")
+        scheduler.schedule(1.0, "a")
+        assert list(scheduler.drain()) == ["a", "b"]
+        assert not scheduler
+
+    def test_clear(self):
+        scheduler = FutureScheduler()
+        scheduler.schedule(1.0, "a")
+        scheduler.clear()
+        assert not scheduler

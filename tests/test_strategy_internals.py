@@ -1,0 +1,145 @@
+"""White-box tests of strategy internals: purposes, tiers, delivery, staging."""
+
+import pytest
+
+from repro.cache.cost_based import CostBasedCache
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.engine.interface import POSTPONED
+from repro.events.event import Event
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+from repro.remote.transport import FixedLatency
+
+
+def build(strategy="Hybrid", latency=100.0, cache_policy="cost", capacity=16):
+    query = parse_query(
+        "SEQ(A a, B b, C c) WHERE SAME[id] AND b.v IN REMOTE[a.v] WITHIN 100000",
+        name="t",
+    )
+    store = RemoteStore()
+    store.register_source("v", lambda key: frozenset(range(10)))
+    return EIRES(query, store, FixedLatency(latency), strategy=strategy,
+                 config=EiresConfig(cache_capacity=capacity, cache_policy=cache_policy))
+
+
+class TestAsyncDelivery:
+    def test_prefetch_lands_in_speculative_tier(self):
+        eires = build()
+        strategy = eires.strategy
+        strategy._fetch_async_prefetch(("v", 1))
+        eires.clock.advance(200.0)
+        strategy._deliver_due()
+        cache = eires.cache
+        assert isinstance(cache, CostBasedCache)
+        assert ("v", 1) in cache._tiers[CostBasedCache.TIER_SPECULATIVE]
+
+    def test_lazy_fetch_lands_in_certain_tier(self):
+        eires = build()
+        strategy = eires.strategy
+        strategy._fetch_async_lazy([("v", 2)])
+        eires.clock.advance(200.0)
+        strategy._deliver_due()
+        assert ("v", 2) in eires.cache._tiers[CostBasedCache.TIER_CERTAIN]
+
+    def test_lazy_need_upgrades_inflight_prefetch(self):
+        # A speculative prefetch followed by a lazy need for the same key
+        # must deliver into the certain tier: its use became guaranteed.
+        eires = build()
+        strategy = eires.strategy
+        strategy._fetch_async_prefetch(("v", 3))
+        strategy._fetch_async_lazy([("v", 3)])
+        assert eires.transport.async_fetches == 1  # coalesced on the wire
+        eires.clock.advance(200.0)
+        strategy._deliver_due()
+        assert ("v", 3) in eires.cache._tiers[CostBasedCache.TIER_CERTAIN]
+
+    def test_nothing_delivered_before_arrival(self):
+        eires = build()
+        strategy = eires.strategy
+        strategy._fetch_async_prefetch(("v", 4))
+        eires.clock.advance(50.0)  # latency is 100
+        strategy._deliver_due()
+        assert ("v", 4) not in eires.cache
+
+
+class TestBlockingRounds:
+    def test_block_for_waits_out_inflight_remainder(self):
+        eires = build(latency=100.0)
+        strategy = eires.strategy
+        strategy._fetch_async_prefetch(("v", 5))  # arrives at t=100
+        eires.clock.advance(80.0)
+        values = strategy._block_for([("v", 5)])
+        # Only the remaining 20us were waited, not a fresh 100.
+        assert eires.clock.now == pytest.approx(100.0)
+        assert values[("v", 5)] == frozenset(range(10))
+
+    def test_concurrent_block_stall_is_max_not_sum(self):
+        eires = build(latency=100.0)
+        strategy = eires.strategy
+        start = eires.clock.now
+        strategy._block_for([("v", 6), ("v", 7), ("v", 8)])
+        assert eires.clock.now - start == pytest.approx(100.0)
+
+    def test_staged_values_survive_cache_eviction(self):
+        eires = build(capacity=1)  # one-entry cache: everything evicts
+        strategy = eires.strategy
+        from repro.nfa.run import Obligation, Run
+
+        automaton = eires.automaton
+        a_event = Event(1.0, {"type": "A", "id": 1, "v": 1}, seq=0)
+        b_event = Event(2.0, {"type": "B", "id": 1, "v": 2}, seq=1)
+        run = Run.start(automaton.states[1], "a", a_event, 1.0)
+        predicate = automaton.transitions[1].remote_predicates[0]
+        env = {"a": a_event, "b": b_event}
+        run.obligations = (
+            Obligation((predicate,), negated=False, issued_at=0.0, env=env),
+        )
+        strategy.prepare_blocking(run)
+        # Even with the one-entry cache thrashing, the staged snapshot
+        # resolves the obligation without further fetches.
+        outcome = strategy.resolve_obligation_predicate(predicate, env, blocking=False)
+        assert outcome is not POSTPONED
+        strategy.finish_blocking()
+        assert strategy._staged == {}
+
+
+class TestResolvePredicate:
+    def _env_pair(self, eires):
+        a_event = Event(1.0, {"type": "A", "id": 1, "v": 1}, seq=0)
+        b_event = Event(2.0, {"type": "B", "id": 1, "v": 2}, seq=1)
+        from repro.nfa.run import Run
+
+        run = Run.start(eires.automaton.states[1], "a", a_event, 1.0)
+        return run, {"a": a_event, "b": b_event}
+
+    def test_bl2_blocks_and_answers(self):
+        eires = build(strategy="BL2")
+        run, env = self._env_pair(eires)
+        transition = eires.automaton.transitions[1]
+        predicate = transition.remote_predicates[0]
+        outcome = eires.strategy.resolve_predicate(transition, predicate, run, env)
+        assert outcome is True  # 2 in range(10)
+        assert eires.strategy.stats.blocking_stalls == 1
+
+    def test_bl3_postpones_without_fetching(self):
+        eires = build(strategy="BL3")
+        run, env = self._env_pair(eires)
+        transition = eires.automaton.transitions[1]
+        predicate = transition.remote_predicates[0]
+        outcome = eires.strategy.resolve_predicate(transition, predicate, run, env)
+        assert outcome is POSTPONED
+        assert eires.transport.async_fetches == 0
+        assert eires.transport.blocking_fetches == 0
+
+    def test_lzeval_postpones_and_fetches(self):
+        eires = build(strategy="LzEval")
+        # Warm the rate estimator so the benefit model has data.
+        for i in range(40):
+            eires.rates.observe_event("ABC"[i % 3], i * 10.0)
+        run, env = self._env_pair(eires)
+        transition = eires.automaton.transitions[1]
+        predicate = transition.remote_predicates[0]
+        outcome = eires.strategy.resolve_predicate(transition, predicate, run, env)
+        assert outcome is POSTPONED
+        assert eires.transport.async_fetches == 1  # the fetch is in flight

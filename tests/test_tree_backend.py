@@ -1,0 +1,132 @@
+"""Tests for the tree-based execution backend (§9 future work)."""
+
+import pytest
+
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.engine.reference import reference_match_signatures
+from repro.nfa.compiler import compile_query
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+from repro.remote.transport import FixedLatency
+
+from tests.helpers import make_abc_scenario, random_stream
+
+ALL_STRATEGIES = ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid")
+
+
+def run_tree(query, store, stream, strategy="Hybrid", latency=50.0, **config):
+    eires = EIRES(
+        query, store, FixedLatency(latency), strategy=strategy,
+        config=EiresConfig(cache_capacity=config.pop("cache_capacity", 100), **config),
+        backend="tree",
+    )
+    return eires.run(stream)
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_matches_equal_oracle(self, strategy):
+        query, store = make_abc_scenario()
+        stream = random_stream(150, seed=21)
+        expected = reference_match_signatures(compile_query(query), stream, store, "greedy")
+        result = run_tree(query, store, stream, strategy=strategy)
+        assert result.match_signatures() == expected
+
+    def test_matches_equal_automaton_backend(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(200, seed=22)
+        tree = run_tree(query, store, stream)
+        automaton = EIRES(query, store, FixedLatency(50.0), strategy="Hybrid",
+                          config=EiresConfig(cache_capacity=100)).run(stream)
+        assert tree.match_signatures() == automaton.match_signatures()
+
+    def test_multiple_seeds(self):
+        query, store = make_abc_scenario()
+        automaton = compile_query(query)
+        for seed in (1, 2, 3):
+            stream = random_stream(100, seed=seed)
+            expected = reference_match_signatures(automaton, stream, store, "greedy")
+            assert run_tree(query, store, stream).match_signatures() == expected
+
+    def test_q1_style_two_remote_sites(self):
+        query = parse_query(
+            """
+            SEQ(A a, B b, C c, D d)
+            WHERE SAME[id] AND c.v IN REMOTE<r1>[a.v] AND d.v IN REMOTE<r2>[b.v]
+            WITHIN 5000
+            """,
+            name="two-remote",
+        )
+        store = RemoteStore()
+        store.register_source("r1", lambda key: frozenset(range(6)))
+        store.register_source("r2", lambda key: frozenset(range(6)))
+        stream = random_stream(250, seed=31, types="ABCD")
+        expected = reference_match_signatures(compile_query(query), stream, store, "greedy")
+        for strategy in ("BL2", "BL3", "Hybrid"):
+            assert run_tree(query, store, stream, strategy=strategy).match_signatures() == expected
+
+
+class TestTreeRestrictions:
+    def test_or_queries_rejected(self):
+        query = parse_query("SEQ(A a, (B b OR C c)) WITHIN 100", name="t")
+        store = RemoteStore()
+        with pytest.raises(ValueError, match="linear SEQ"):
+            EIRES(query, store, FixedLatency(10.0), backend="tree",
+                  config=EiresConfig(cache_capacity=8))
+
+    def test_non_greedy_rejected(self):
+        query, store = make_abc_scenario()
+        with pytest.raises(ValueError, match="greedy"):
+            EIRES(query, store, FixedLatency(10.0), backend="tree",
+                  config=EiresConfig(cache_capacity=8, policy="non_greedy"))
+
+    def test_unknown_backend_rejected(self):
+        query, store = make_abc_scenario()
+        with pytest.raises(ValueError, match="unknown backend"):
+            EIRES(query, store, FixedLatency(10.0), backend="gpu",
+                  config=EiresConfig(cache_capacity=8))
+
+
+class TestTreeLatencyShapes:
+    """§9's expectation: the automaton results carry over to the tree model."""
+
+    def test_strategy_ordering_carries_over(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(250, seed=41)
+        p50 = {
+            strategy: run_tree(query, store, stream, strategy=strategy).latency.median()
+            for strategy in ("BL1", "BL2", "Hybrid")
+        }
+        assert p50["Hybrid"] <= p50["BL2"] <= p50["BL1"]
+
+    def test_prefetch_triggers_on_buffer_insertion(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(200, seed=43)
+        result = run_tree(query, store, stream, strategy="PFetch")
+        bl2 = run_tree(query, store, stream, strategy="BL2")
+        assert result.strategy_stats["prefetches_issued"] > 0
+        # Prefetching at insertion hides most (not necessarily all: short
+        # insert-to-join gaps can undercut the transmission latency) stalls.
+        assert result.strategy_stats["blocking_stalls"] < bl2.strategy_stats["blocking_stalls"]
+
+    def test_deferred_strategies_batch_fetches_at_emission(self):
+        query, store = make_abc_scenario()
+        stream = random_stream(120, seed=44)
+        bl3 = run_tree(query, store, stream, strategy="BL3", latency=500.0)
+        # Every deferred candidate pays (at most) one concurrent round.
+        assert bl3.engine_stats["obligation_checks"] > 0
+
+    def test_window_prunes_buffers(self):
+        query = parse_query("SEQ(A a, B b) WHERE SAME[id] WITHIN 100 us", name="t")
+        _, store = make_abc_scenario()
+        from repro.events.event import Event
+        from repro.events.stream import Stream
+
+        events = Stream([
+            Event(0.0, {"type": "A", "id": 1, "v": 1}),
+            Event(500.0, {"type": "B", "id": 1, "v": 1}),  # A expired
+        ])
+        result = run_tree(query, store, events)
+        assert result.match_count == 0
+        assert result.engine_stats["runs_expired"] == 1

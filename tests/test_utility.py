@@ -1,0 +1,212 @@
+"""Unit tests for the utility model, rate estimation, and noise (§4)."""
+
+import pytest
+
+from repro.nfa.compiler import compile_query
+from repro.nfa.run import Run
+from repro.query.parser import parse_query
+from repro.remote.monitor import LatencyMonitor
+from repro.remote.store import RemoteStore
+from repro.utility.model import UtilityModel, required_keys
+from repro.utility.noise import NoiseModel
+from repro.utility.rates import RateEstimator
+from repro.events.event import Event
+
+
+def build_automaton():
+    return compile_query(
+        parse_query("SEQ(A a, B b, C c) WHERE c.v IN REMOTE<r>[a.v] WITHIN 100", name="t")
+    )
+
+
+def run_at(automaton, state_index, attrs, created_at=0.0):
+    state = automaton.states[state_index]
+    env = {}
+    event = None
+    for depth, binding in enumerate(state.path_bindings):
+        event = Event(float(depth), dict(attrs, type="X"), seq=depth)
+        env[binding] = event
+    return Run(
+        state=state,
+        env=env,
+        first_t=0.0,
+        first_seq=0,
+        last_seq=len(env) - 1,
+        obligations=(),
+        created_at=created_at,
+    )
+
+
+class TestRequiredKeys:
+    def test_key_derivable_from_bound_event(self):
+        automaton = build_automaton()
+        run = run_at(automaton, 2, {"v": 7})  # at state (a, b): next needs r[a.v]
+        assert required_keys(run) == (("r", 7),)
+
+    def test_key_not_yet_bound(self):
+        automaton = build_automaton()
+        run = run_at(automaton, 1, {"v": 7})  # at state (a): site is 1 hop away
+        assert required_keys(run) == ()
+
+    def test_include_future_states_walks_deeper(self):
+        automaton = build_automaton()
+        run = run_at(automaton, 1, {"v": 7})
+        assert required_keys(run, include_future_states=True) == (("r", 7),)
+
+    def test_site_keyed_by_input_event_is_excluded(self):
+        automaton = compile_query(
+            parse_query("SEQ(A a, B b) WHERE a.v IN REMOTE<r>[b.v] WITHIN 10", name="t")
+        )
+        run = run_at(automaton, 1, {"v": 3})
+        assert required_keys(run) == ()
+
+
+class TestUtilityModel:
+    def _model(self, automaton=None, noise=None):
+        automaton = automaton or build_automaton()
+        store = RemoteStore()
+        monitor = LatencyMonitor(prior=10.0)
+        return UtilityModel(automaton, store, monitor, horizon_events=100.0, noise=noise), store
+
+    def test_urgent_utility_counts_live_runs(self):
+        model, _ = self._model()
+        automaton = build_automaton()
+        run = run_at(automaton, 2, {"v": 7})
+        model.on_run_created(run)
+        assert model.urgent_utility(("r", 7)) == pytest.approx(10.0)  # 1 run x prior latency
+        model.on_run_dropped(run)
+        assert model.urgent_utility(("r", 7)) == 0.0
+
+    def test_urgent_utility_propagates_to_containers(self):
+        automaton = build_automaton()
+        store = RemoteStore()
+        parent = store.put("r", "all", "container", size=0)
+        store.put("r", 7, "part", size=1, parent=parent)
+        model = UtilityModel(automaton, store, LatencyMonitor(prior=10.0), horizon_events=10.0)
+        run = run_at(automaton, 2, {"v": 7})
+        model.on_run_created(run)
+        assert model.urgent_utility(("r", "all")) > 0.0
+
+    def test_future_utility_builds_from_class_statistics(self):
+        model, _ = self._model()
+        automaton = build_automaton()
+        for i in range(10):
+            model.on_run_created(run_at(automaton, 2, {"v": 7}))
+            model.tick(float(i), {2: i + 1})
+        assert model.future_utility(("r", 7)) > 0.0
+        # A key never required by any run has no future utility.
+        assert model.future_utility(("r", 999)) == 0.0
+
+    def test_combined_value_weighting(self):
+        model, _ = self._model()
+        automaton = build_automaton()
+        run = run_at(automaton, 2, {"v": 7})
+        model.on_run_created(run)
+        urgent_only = model.value(("r", 7), omega=1.0)
+        future_only = model.value(("r", 7), omega=0.0)
+        mixed = model.value(("r", 7), omega=0.5)
+        assert urgent_only == pytest.approx(model.urgent_utility(("r", 7)))
+        assert mixed == pytest.approx(0.5 * urgent_only + 0.5 * future_only)
+
+    def test_omega_out_of_range(self):
+        model, _ = self._model()
+        with pytest.raises(ValueError):
+            model.value(("r", 7), omega=1.5)
+
+    def test_noise_zeroes_future_utility(self):
+        noisy = NoiseModel(1.0)
+        model, _ = self._model(noise=noisy)
+        automaton = build_automaton()
+        model.on_run_created(run_at(automaton, 2, {"v": 7}))
+        model.tick(0.0, {2: 5})
+        assert model.future_utility(("r", 7)) == 0.0
+
+    def test_decay_forgets_old_counters(self):
+        model, _ = self._model()
+        automaton = build_automaton()
+        model.on_run_created(run_at(automaton, 2, {"v": 7}))
+        model.tick(0.0, {2: 5})
+        before = model.future_utility(("r", 7))
+        assert before > 0.0
+        for i in range(1, 4096):
+            model.tick(float(i), {2: 5})  # class still busy, key never needed
+        after = model.future_utility(("r", 7))
+        assert after < before
+
+
+class TestRateEstimator:
+    def test_event_rate_from_gaps(self):
+        rates = RateEstimator()
+        for i in range(200):
+            rates.observe_event("A", i * 10.0)
+        assert rates.event_rate() == pytest.approx(0.1, rel=0.05)
+
+    def test_type_rate_splits_by_share(self):
+        rates = RateEstimator()
+        for i in range(300):
+            rates.observe_event("A" if i % 3 else "B", i * 10.0)
+        assert rates.type_rate("A") > rates.type_rate("B")
+
+    def test_extension_rate_scaled_by_pass_fraction(self):
+        rates = RateEstimator()
+        for i in range(100):
+            rates.observe_event("A", i * 10.0)
+        for _ in range(80):
+            rates.observe_guard(5, passed=False)
+        for _ in range(20):
+            rates.observe_guard(5, passed=True)
+        assert rates.extension_rate(5, "A") == pytest.approx(0.2 * rates.type_rate("A"), rel=0.01)
+
+    def test_unseen_transition_falls_back_to_type_rate(self):
+        rates = RateEstimator()
+        for i in range(10):
+            rates.observe_event("A", i * 10.0)
+        assert rates.extension_rate(99, "A") == pytest.approx(rates.type_rate("A"))
+
+    def test_rates_never_zero(self):
+        rates = RateEstimator()
+        assert rates.event_rate() > 0
+        assert rates.type_rate("Z") > 0
+        assert rates.expected_gap(1, "Z") < float("inf")
+
+    def test_invalid_decay_interval(self):
+        with pytest.raises(ValueError):
+            RateEstimator(decay_interval_events=0)
+
+
+class TestNoiseModel:
+    def test_inactive_at_zero_ratio(self):
+        noise = NoiseModel(0.0)
+        assert not noise.active
+        assert not noise.flip(("x",), now=0.0)
+
+    def test_always_corrupts_at_ratio_one(self):
+        noise = NoiseModel(1.0)
+        assert all(noise.flip(("t", i), now=0.0) for i in range(20))
+
+    def test_ratio_roughly_respected(self):
+        noise = NoiseModel(0.3)
+        hits = sum(noise.flip(("t", i), now=0.0) for i in range(4000))
+        assert 0.25 < hits / 4000 < 0.35
+
+    def test_decisions_stable_within_epoch(self):
+        noise = NoiseModel(0.5, epoch_length=100.0)
+        first = noise.flip(("k",), now=10.0)
+        assert noise.flip(("k",), now=50.0) == first
+
+    def test_decisions_refresh_across_epochs(self):
+        noise = NoiseModel(0.5, epoch_length=10.0)
+        outcomes = {noise.flip(("k",), now=10.0 * i) for i in range(64)}
+        assert outcomes == {True, False}
+
+    def test_decoy_key_same_source_different_key(self):
+        noise = NoiseModel(0.5)
+        decoy = noise.decoy_key(("src", 5))
+        assert decoy[0] == "src"
+        assert decoy != ("src", 5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NoiseModel(1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(0.5, epoch_length=0.0)

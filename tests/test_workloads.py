@@ -1,0 +1,161 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.nfa.compiler import compile_query
+from repro.workloads.base import PseudoRandomSet
+from repro.workloads.bushfire import BushfireConfig, bushfire_workload
+from repro.workloads.cluster import ClusterConfig, cluster_workload, _region_of
+from repro.workloads.fraud import FraudConfig, fraud_workload
+from repro.workloads.synthetic import (
+    Q1_DEFAULTS,
+    Q2_DEFAULTS,
+    SyntheticConfig,
+    q1_workload,
+    q2_workload,
+)
+
+
+class TestPseudoRandomSet:
+    def test_density_respected(self):
+        members = PseudoRandomSet(seed=1, key=5, density=0.25)
+        hits = sum(1 for item in range(10_000) if item in members)
+        assert 0.22 < hits / 10_000 < 0.28
+
+    def test_deterministic(self):
+        a = PseudoRandomSet(1, 5, 0.5)
+        b = PseudoRandomSet(1, 5, 0.5)
+        assert [i in a for i in range(100)] == [i in b for i in range(100)]
+        assert a == b
+
+    def test_different_keys_differ(self):
+        a = PseudoRandomSet(1, 5, 0.5)
+        b = PseudoRandomSet(1, 6, 0.5)
+        assert [i in a for i in range(100)] != [i in b for i in range(100)]
+
+    def test_extreme_densities(self):
+        assert all(i in PseudoRandomSet(1, 1, 1.0) for i in range(50))
+        assert not any(i in PseudoRandomSet(1, 1, 0.0) for i in range(50))
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            PseudoRandomSet(1, 1, 1.5)
+
+
+class TestSyntheticWorkload:
+    def test_stream_shape(self):
+        config = SyntheticConfig(n_events=500, seed=7)
+        workload = q1_workload(config)
+        assert len(workload.stream) == 500
+        for event in workload.stream:
+            assert event["type"] in "ABCD"
+            assert 1 <= event["id"] <= config.id_domain
+            assert 1 <= event["v1"] <= config.key_domain
+
+    def test_queries_compile(self):
+        for workload in (q1_workload(SyntheticConfig(n_events=0)),
+                         q2_workload(SyntheticConfig(n_events=0))):
+            automaton = compile_query(workload.query)
+            assert automaton.sites, workload.name
+
+    def test_q1_has_two_remote_states(self):
+        automaton = compile_query(q1_workload(SyntheticConfig(n_events=0)).query)
+        states_needing_remote = {site.transition.source.index for site in automaton.sites}
+        assert len(states_needing_remote) == 2
+
+    def test_q2_remote_per_branch(self):
+        automaton = compile_query(q2_workload(SyntheticConfig(n_events=0)).query)
+        assert len(automaton.final_states) == 2
+        assert len(automaton.sites) == 2
+
+    def test_default_configs_differ_per_query(self):
+        assert Q1_DEFAULTS.id_domain != Q2_DEFAULTS.id_domain or (
+            Q1_DEFAULTS.window_events != Q2_DEFAULTS.window_events
+        )
+
+    def test_cache_capacity_note_is_ten_percent_of_keyspace(self):
+        workload = q1_workload(SyntheticConfig(n_events=0, key_domain=100_000))
+        assert workload.notes["cache_capacity"] == 10_000
+
+    def test_deterministic_stream(self):
+        first = q1_workload(SyntheticConfig(n_events=100, seed=5)).stream
+        second = q1_workload(SyntheticConfig(n_events=100, seed=5)).stream
+        assert [e.attrs for e in first] == [e.attrs for e in second]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_events=-1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(remote_density=1.5)
+
+
+class TestFraudWorkload:
+    def test_hierarchy_present(self):
+        workload = fraud_workload(FraudConfig(n_events=10))
+        org = workload.store.lookup(("preauth", ("org", 0)))
+        assert org.children  # users under the org
+        assert org.children[0].children  # cards under the users
+        assert org.total_size() > 0
+
+    def test_event_mix(self):
+        workload = fraud_workload(FraudConfig(n_events=2000))
+        types = {event["type"] for event in workload.stream}
+        assert types == {"T", "D", "L"}
+
+    def test_query_uses_three_sources(self):
+        workload = fraud_workload(FraudConfig(n_events=0))
+        assert workload.query.remote_sources() == {"locations", "limits", "preauth"}
+
+
+class TestBushfireWorkload:
+    def test_hot_cells_produce_high_radiation(self):
+        config = BushfireConfig(n_events=2000)
+        workload = bushfire_workload(config)
+        hot_cells = int(config.n_cells * config.hot_cell_fraction)
+        hot = [e["rad"] for e in workload.stream if e["cell"] < hot_cells]
+        cold = [e["rad"] for e in workload.stream if e["cell"] >= hot_cells]
+        assert sum(hot) / len(hot) > sum(cold) / len(cold)
+
+    def test_query_has_costly_predicates(self):
+        workload = bushfire_workload(BushfireConfig(n_events=0))
+        automaton = compile_query(workload.query)
+        costs = [
+            predicate.eval_cost
+            for transition in automaton.transitions
+            for predicate in transition.local_predicates
+        ]
+        assert max(costs) >= BushfireConfig().overlap_cost_us
+
+    def test_ground_sensor_sources(self):
+        workload = bushfire_workload(BushfireConfig(n_events=0))
+        assert workload.query.remote_sources() == {"temp", "humidity"}
+
+
+class TestClusterWorkload:
+    def test_lifecycle_order_per_task(self):
+        workload = cluster_workload(ClusterConfig(n_tasks=50))
+        per_task: dict[int, list[str]] = {}
+        for event in workload.stream:
+            per_task.setdefault(event["task"], []).append(event["type"])
+        for task, types in per_task.items():
+            assert types[0] == "S", f"task {task} does not start with submit"
+
+    def test_problematic_tasks_cross_regions(self):
+        config = ClusterConfig(n_tasks=80)
+        workload = cluster_workload(config)
+        failing_tasks = {e["task"] for e in workload.stream if e["type"] == "F"}
+        assert failing_tasks  # some candidates exist
+        # At least one failing task visits machines in >= 2 regions.
+        regions_by_task: dict[int, set[int]] = {}
+        for event in workload.stream:
+            if event["type"] == "C":
+                regions_by_task.setdefault(event["task"], set()).add(
+                    _region_of(event["machine"], config)
+                )
+        assert any(len(regions_by_task.get(task, set())) >= 3 for task in failing_tasks)
+
+    def test_region_source_consistent_with_generator(self):
+        config = ClusterConfig(n_tasks=1)
+        workload = cluster_workload(config)
+        for machine in range(20):
+            assert workload.store.lookup(("region", machine)).value == _region_of(machine, config)
