@@ -21,7 +21,10 @@ from typing import Callable
 from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.engine.engine import GREEDY, NON_GREEDY
+from repro.metrics.reporting import format_fault_summary
 from repro.nfa.compiler import compile_query
+from repro.remote.faults import FAULT_PROFILES
+from repro.strategies.base import FAIL_CLOSED, FAIL_OPEN
 from repro.workloads.base import Workload
 from repro.workloads.bushfire import BushfireConfig, bushfire_workload
 from repro.workloads.cluster import ClusterConfig, cluster_workload
@@ -62,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="cache capacity (default: the workload's recommendation)")
     compare.add_argument("--strategies", nargs="+", default=list(ALL_STRATEGIES),
                          choices=ALL_STRATEGIES, metavar="STRATEGY")
+    compare.add_argument("--fault-profile", default="none", metavar="PROFILE",
+                         help="fault injection profile: one of "
+                              f"{', '.join(sorted(FAULT_PROFILES))}, or a spec like "
+                              "'drop:0.1' / 'drop:0.05,slow:0.1:8' (default: none)")
+    compare.add_argument("--failure-mode", choices=(FAIL_CLOSED, FAIL_OPEN),
+                         default=FAIL_CLOSED,
+                         help="how predicates treat terminally unavailable data")
+    compare.add_argument("--retry-attempts", type=int, default=3,
+                         help="max fetch attempts incl. the first (default: 3)")
 
     describe = subparsers.add_parser("describe", help="print a workload's automaton")
     describe.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
@@ -71,15 +83,26 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_compare(args: argparse.Namespace) -> int:
     workload = WORKLOADS[args.workload](args.events)
     capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
-    config = EiresConfig(policy=args.policy, cache_policy=args.cache, cache_capacity=capacity)
-    rows = [run_strategy(workload, strategy, config).summary() for strategy in args.strategies]
-    experiment = ExperimentResult(
-        f"{args.workload} / {args.policy} / {args.cache} cache (capacity {capacity})", rows
+    config = EiresConfig(
+        policy=args.policy,
+        cache_policy=args.cache,
+        cache_capacity=capacity,
+        fault_profile=args.fault_profile,
+        failure_mode=args.failure_mode,
+        retry_max_attempts=args.retry_attempts,
     )
+    rows = [run_strategy(workload, strategy, config).summary() for strategy in args.strategies]
+    title = f"{args.workload} / {args.policy} / {args.cache} cache (capacity {capacity})"
+    if args.fault_profile != "none":
+        title += f" / faults={args.fault_profile}"
+    experiment = ExperimentResult(title, rows)
     print(experiment.table())
     if "Hybrid" in args.strategies and len(args.strategies) > 1:
         print()
         print(experiment.comparison("p50"))
+    if args.fault_profile != "none":
+        print()
+        print(format_fault_summary(rows))
     return 0
 
 

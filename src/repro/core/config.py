@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import GREEDY, NON_GREEDY
 from repro.engine.interface import CostModel
+from repro.strategies.base import FAIL_CLOSED, FAIL_OPEN
 
 __all__ = ["EiresConfig", "CACHE_LRU", "CACHE_COST"]
 
@@ -48,6 +49,24 @@ class EiresConfig:
     # Lazy evaluation (§5.2)
     lazy_gate_enabled: bool = True
 
+    # Fault tolerance: injection profile, retry policy, circuit breakers,
+    # graceful degradation.  ``fault_profile="none"`` keeps the substrate
+    # byte-identical to a fault-free build (no fault RNG draws).
+    fault_profile: str = "none"
+    retry_max_attempts: int = 3
+    retry_backoff_base: float = 25.0
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.1
+    retry_attempt_timeout: float = 400.0
+    retry_deadline: float = 4_000.0
+    breaker_enabled: bool = True
+    breaker_window: int = 32
+    breaker_failure_threshold: float = 0.5
+    breaker_min_samples: int = 8
+    breaker_cooldown: float = 2_000.0
+    failure_mode: str = FAIL_CLOSED
+    stale_serve_enabled: bool = True
+
     # Virtual-time cost model
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -67,6 +86,16 @@ class EiresConfig:
                 raise ValueError(f"{name} must be in [0, 1]: {value}")
         if self.utility_tick_interval < 1:
             raise ValueError("utility tick interval must be >= 1")
+        if self.failure_mode not in (FAIL_OPEN, FAIL_CLOSED):
+            raise ValueError(f"unknown failure mode {self.failure_mode!r}")
+        if self.retry_max_attempts < 1:
+            raise ValueError(f"retry_max_attempts must be >= 1: {self.retry_max_attempts}")
+        if self.breaker_window < 1:
+            raise ValueError(f"breaker_window must be >= 1: {self.breaker_window}")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ValueError(
+                f"breaker_failure_threshold must be in (0, 1]: {self.breaker_failure_threshold}"
+            )
 
     def with_(self, **changes) -> "EiresConfig":
         """A copy with some fields replaced (sweep convenience)."""

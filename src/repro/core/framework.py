@@ -31,7 +31,9 @@ from repro.events.stream import Stream
 from repro.nfa.automaton import Automaton
 from repro.nfa.compiler import compile_query
 from repro.query.ast import Query
-from repro.remote.monitor import LatencyMonitor
+from repro.remote.faults import make_fault_model
+from repro.remote.monitor import BreakerBoard, LatencyMonitor
+from repro.remote.retry import RetryPolicy
 from repro.remote.store import RemoteStore
 from repro.remote.transport import LatencyModel, Transport
 from repro.sim.clock import VirtualClock
@@ -64,7 +66,38 @@ class EIRES:
         self.clock = VirtualClock()
         rng = make_rng(self.config.seed)
         self.monitor = LatencyMonitor()
-        self.transport = Transport(store, latency_model, spawn(rng, "transport"), self.monitor)
+        # The fault rng is a *separate* stream spawned after the transport's:
+        # with fault_profile="none" no fault draws happen at all, so latency
+        # samples are byte-identical to a build without the fault machinery.
+        fault_model = make_fault_model(self.config.fault_profile)
+        retry_policy = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            backoff_base=self.config.retry_backoff_base,
+            backoff_factor=self.config.retry_backoff_factor,
+            jitter=self.config.retry_jitter,
+            attempt_timeout=self.config.retry_attempt_timeout,
+            deadline=self.config.retry_deadline,
+        )
+        breakers = (
+            BreakerBoard(
+                window_size=self.config.breaker_window,
+                failure_threshold=self.config.breaker_failure_threshold,
+                min_samples=self.config.breaker_min_samples,
+                cooldown=self.config.breaker_cooldown,
+            )
+            if self.config.breaker_enabled
+            else None
+        )
+        self.transport = Transport(
+            store,
+            latency_model,
+            spawn(rng, "transport"),
+            self.monitor,
+            fault_model=fault_model,
+            fault_rng=spawn(rng, "faults"),
+            retry_policy=retry_policy,
+            breakers=breakers,
+        )
         self.strategy = make_strategy(strategy) if isinstance(strategy, str) else strategy
         self.cache = self._build_cache()
         self.noise = NoiseModel(self.config.noise_ratio, seed=self.config.seed)
@@ -92,6 +125,8 @@ class EIRES:
                 prefetch_gate_enabled=self.config.prefetch_gate_enabled,
                 lazy_gate_enabled=self.config.lazy_gate_enabled,
                 utility_tick_interval=self.config.utility_tick_interval,
+                failure_mode=self.config.failure_mode,
+                stale_serve_enabled=self.config.stale_serve_enabled,
             )
         )
         if backend == "automaton":

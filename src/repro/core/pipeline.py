@@ -132,6 +132,9 @@ class Pipeline:
                 "blocking_fetches": strategy.ctx.transport.blocking_fetches,
                 "async_fetches": strategy.ctx.transport.async_fetches,
                 "coalesced": strategy.ctx.transport.coalesced,
+                "retries": strategy.ctx.transport.retries,
+                "failed_fetches": strategy.ctx.transport.failed_fetches,
+                "breaker_fastfails": strategy.ctx.transport.breaker_fastfails,
             },
             duration_us=clock.now - start,
         )

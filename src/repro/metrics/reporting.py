@@ -10,7 +10,26 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "format_comparison", "speedups"]
+__all__ = [
+    "format_table",
+    "format_comparison",
+    "speedups",
+    "format_fault_summary",
+    "FAULT_COLUMNS",
+]
+
+# Degradation counters surfaced by faulted runs (summary() key names).
+FAULT_COLUMNS = (
+    "strategy",
+    "fetch.fetch_failures",
+    "fetch.retries",
+    "fetch.breaker_opens",
+    "fetch.breaker_skips",
+    "fetch.obligations_expired",
+    "fetch.stale_serves",
+    "transport.failed_fetches",
+    "transport.breaker_fastfails",
+)
 
 
 def format_table(
@@ -83,3 +102,15 @@ def format_comparison(
         return f"(no {metric} comparison available)"
     parts = [f"{name}: {factor:.1f}x" for name, factor in sorted(factors.items())]
     return f"{subject} {metric} improvement - " + ", ".join(parts)
+
+
+def format_fault_summary(rows: Sequence[Mapping[str, Any]], title: str = "Fault tolerance") -> str:
+    """Table of the degradation counters for a faulted comparison run."""
+    columns = [
+        column
+        for column in FAULT_COLUMNS
+        if column == "strategy" or any(row.get(column) for row in rows)
+    ]
+    if columns == ["strategy"]:
+        return f"{title}: no faults observed"
+    return format_table(title, rows, columns, float_format="{:.0f}")

@@ -1,7 +1,29 @@
-"""Remote-data substrate: elements, store, transport, latency monitoring."""
+"""Remote-data substrate: elements, store, transport, faults, health monitoring."""
 
 from repro.remote.element import DataElement, DataKey
-from repro.remote.monitor import LatencyMonitor
+from repro.remote.faults import (
+    FAULT_PROFILES,
+    CompositeFaults,
+    DropFaults,
+    ErrorBurstFaults,
+    FaultDecision,
+    FaultModel,
+    LatencySpikeFaults,
+    NoFaults,
+    PerSourceFaults,
+    TransientErrorFaults,
+    make_fault_model,
+)
+from repro.remote.monitor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+    FailureWindow,
+    LatencyMonitor,
+)
+from repro.remote.retry import RetryPolicy
 from repro.remote.store import MISSING_VALUE, RemoteStore
 from repro.remote.transport import (
     FetchRequest,
@@ -18,6 +40,24 @@ __all__ = [
     "RemoteStore",
     "MISSING_VALUE",
     "LatencyMonitor",
+    "FailureWindow",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "RetryPolicy",
+    "FaultModel",
+    "FaultDecision",
+    "NoFaults",
+    "DropFaults",
+    "TransientErrorFaults",
+    "LatencySpikeFaults",
+    "ErrorBurstFaults",
+    "PerSourceFaults",
+    "CompositeFaults",
+    "FAULT_PROFILES",
+    "make_fault_model",
     "LatencyModel",
     "FixedLatency",
     "UniformLatency",

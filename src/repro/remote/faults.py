@@ -1,0 +1,262 @@
+"""Composable fault models for the remote-data substrate.
+
+EIRES's cost model (§2.1) charges every remote access its transmission
+latency ``l_remote(d)`` but assumes the access *succeeds*.  Production remote
+sources drop requests, answer with errors, and suffer latency spikes and
+error bursts; the fetching strategies must degrade gracefully instead of
+silently assuming a perfect network.  A :class:`FaultModel` decides, per
+fetch attempt, what the (virtual) network does to the request:
+
+* ``OK``    — the fetch succeeds after the sampled transmission latency;
+* ``SLOW``  — the fetch succeeds, but the latency is inflated by a factor
+  (a latency spike / congested link);
+* ``ERROR`` — the source answers with an error after the normal round trip
+  (a transient 5xx: the failure is *known* quickly);
+* ``DROP``  — the request (or its response) vanishes; the failure only
+  becomes known when the caller's attempt timeout elapses.
+
+All randomness flows through an explicitly seeded ``random.Random`` (see
+``sim/rng.py``), independent from the latency-model stream, so a run with
+``fault_profile="none"`` consumes exactly the same latency draws as one with
+no fault machinery at all — the zero-fault regression gate depends on this.
+
+Models compose: :class:`CompositeFaults` applies the first non-OK decision,
+:class:`PerSourceFaults` dispatches on the key's source, and
+:class:`ErrorBurstFaults` generates whole outage windows per source.
+:func:`make_fault_model` parses the CLI/profile mini-language, e.g.
+``"drop:0.1"``, ``"drop:0.05,slow:0.2:8"``, or a named profile like
+``"flaky"``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.remote.element import DataKey
+
+__all__ = [
+    "OK",
+    "SLOW",
+    "ERROR",
+    "DROP",
+    "FaultDecision",
+    "FaultModel",
+    "NoFaults",
+    "DropFaults",
+    "TransientErrorFaults",
+    "LatencySpikeFaults",
+    "ErrorBurstFaults",
+    "PerSourceFaults",
+    "CompositeFaults",
+    "FAULT_PROFILES",
+    "make_fault_model",
+]
+
+OK = "ok"
+SLOW = "slow"
+ERROR = "error"
+DROP = "drop"
+
+
+class FaultDecision:
+    """What the network does to one fetch attempt."""
+
+    __slots__ = ("kind", "latency_scale")
+
+    def __init__(self, kind: str, latency_scale: float = 1.0) -> None:
+        if kind not in (OK, SLOW, ERROR, DROP):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if latency_scale < 1.0:
+            raise ValueError(f"latency scale must be >= 1: {latency_scale}")
+        self.kind = kind
+        self.latency_scale = latency_scale
+
+    @property
+    def failed(self) -> bool:
+        return self.kind in (ERROR, DROP)
+
+    def __repr__(self) -> str:
+        if self.kind == SLOW:
+            return f"FaultDecision({self.kind}, x{self.latency_scale:g})"
+        return f"FaultDecision({self.kind})"
+
+
+_DECISION_OK = FaultDecision(OK)
+
+
+class FaultModel(ABC):
+    """Decides the fate of one fetch attempt for ``key`` issued at ``now``."""
+
+    @abstractmethod
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        """The fault (or lack thereof) affecting this attempt."""
+
+
+class NoFaults(FaultModel):
+    """The perfect network the pre-fault substrate assumed."""
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        return _DECISION_OK
+
+
+def _check_rate(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1]: {rate}")
+    return rate
+
+
+class DropFaults(FaultModel):
+    """Each attempt is silently dropped with probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = _check_rate(rate)
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        if rng.random() < self.rate:
+            return FaultDecision(DROP)
+        return _DECISION_OK
+
+
+class TransientErrorFaults(FaultModel):
+    """Each attempt fails with a fast error response with probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = _check_rate(rate)
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        if rng.random() < self.rate:
+            return FaultDecision(ERROR)
+        return _DECISION_OK
+
+
+class LatencySpikeFaults(FaultModel):
+    """Each attempt suffers a ``scale``-fold latency spike with probability ``rate``."""
+
+    def __init__(self, rate: float, scale: float = 10.0) -> None:
+        self.rate = _check_rate(rate)
+        if scale < 1.0:
+            raise ValueError(f"spike scale must be >= 1: {scale}")
+        self.scale = scale
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        if rng.random() < self.rate:
+            return FaultDecision(SLOW, latency_scale=self.scale)
+        return _DECISION_OK
+
+
+class ErrorBurstFaults(FaultModel):
+    """Per-source outage windows: every attempt during a burst errors out.
+
+    Burst start gaps are exponential with mean ``mean_gap`` (virtual us) and
+    each burst lasts ``duration``.  The schedule is generated lazily per
+    source from the fault RNG, so it is reproducible and independent across
+    sources (each source draws its own gaps as its requests probe forward in
+    time).
+    """
+
+    def __init__(self, mean_gap: float, duration: float) -> None:
+        if mean_gap <= 0:
+            raise ValueError(f"mean gap must be positive: {mean_gap}")
+        if duration <= 0:
+            raise ValueError(f"burst duration must be positive: {duration}")
+        self.mean_gap = mean_gap
+        self.duration = duration
+        # source -> [burst_start, burst_end] of the latest generated burst
+        self._windows: dict[str, list[float]] = {}
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        window = self._windows.get(key[0])
+        if window is None:
+            window = [rng.expovariate(1.0 / self.mean_gap), 0.0]
+            window[1] = window[0] + self.duration
+            self._windows[key[0]] = window
+        while now > window[1]:
+            window[0] = window[1] + rng.expovariate(1.0 / self.mean_gap)
+            window[1] = window[0] + self.duration
+        if window[0] <= now <= window[1]:
+            return FaultDecision(ERROR)
+        return _DECISION_OK
+
+
+class PerSourceFaults(FaultModel):
+    """Dispatch to a per-source model, with an optional default."""
+
+    def __init__(self, models: dict[str, FaultModel], default: FaultModel | None = None) -> None:
+        self._models = dict(models)
+        self._default = default if default is not None else NoFaults()
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        model = self._models.get(key[0], self._default)
+        return model.decide(key, now, attempt, rng)
+
+
+class CompositeFaults(FaultModel):
+    """Apply several models; the first non-OK decision wins."""
+
+    def __init__(self, models: list[FaultModel]) -> None:
+        if not models:
+            raise ValueError("a composite fault model needs at least one part")
+        self._models = list(models)
+
+    def decide(self, key: DataKey, now: float, attempt: int, rng: random.Random) -> FaultDecision:
+        for model in self._models:
+            decision = model.decide(key, now, attempt, rng)
+            if decision.kind != OK:
+                return decision
+        return _DECISION_OK
+
+
+# Named profiles for the CLI and benchmarks.  Factories, not instances:
+# ErrorBurstFaults is stateful, so each Transport needs its own copy.
+FAULT_PROFILES: dict[str, object] = {
+    "none": lambda: None,
+    "lossy": lambda: DropFaults(0.05),
+    "flaky": lambda: CompositeFaults(
+        [DropFaults(0.05), TransientErrorFaults(0.05), LatencySpikeFaults(0.1, 8.0)]
+    ),
+    "degraded": lambda: CompositeFaults([DropFaults(0.1), LatencySpikeFaults(0.2, 10.0)]),
+    "burst": lambda: ErrorBurstFaults(mean_gap=20_000.0, duration=2_000.0),
+}
+
+
+def _parse_term(term: str) -> FaultModel:
+    parts = term.split(":")
+    kind, args = parts[0], parts[1:]
+    try:
+        if kind == "drop" and len(args) == 1:
+            return DropFaults(float(args[0]))
+        if kind == "error" and len(args) == 1:
+            return TransientErrorFaults(float(args[0]))
+        if kind == "slow" and len(args) in (1, 2):
+            scale = float(args[1]) if len(args) == 2 else 10.0
+            return LatencySpikeFaults(float(args[0]), scale)
+        if kind == "burst" and len(args) == 2:
+            return ErrorBurstFaults(float(args[0]), float(args[1]))
+    except ValueError as exc:
+        raise ValueError(f"bad fault term {term!r}: {exc}") from None
+    raise ValueError(
+        f"unknown fault term {term!r}; use drop:RATE, error:RATE, "
+        f"slow:RATE[:SCALE], burst:GAP:DURATION, or a named profile "
+        f"({', '.join(sorted(FAULT_PROFILES))})"
+    )
+
+
+def make_fault_model(spec: str) -> FaultModel | None:
+    """Build a fault model from a profile name or a comma-joined term list.
+
+    ``"none"`` (and ``""``) yield ``None`` — the transport then skips fault
+    evaluation entirely, preserving the exact RNG stream of the pre-fault
+    substrate.
+    """
+    spec = (spec or "none").strip()
+    factory = FAULT_PROFILES.get(spec)
+    if factory is not None:
+        return factory()  # type: ignore[operator]
+    terms = [term.strip() for term in spec.split(",") if term.strip()]
+    if not terms:
+        return None
+    models = [_parse_term(term) for term in terms]
+    if len(models) == 1:
+        return models[0]
+    return CompositeFaults(models)

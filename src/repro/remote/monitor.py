@@ -1,4 +1,4 @@
-"""Per-element transmission-latency monitoring.
+"""Per-element transmission-latency and per-source health monitoring.
 
 The paper assumes ``l_remote(d)`` "is monitored per data element" (§2.1) and
 both PFetch timing (Alg. 3) and the LzEval benefit estimate (Alg. 4) consume
@@ -6,13 +6,36 @@ the monitored value.  :class:`LatencyMonitor` keeps an exponentially weighted
 moving average per key, falling back to a per-source average for keys never
 fetched before, then to a configurable prior — a fresh system has no
 observations yet but still needs a usable estimate.
+
+With faults in play (see :mod:`repro.remote.faults`) latency is not the only
+signal worth monitoring: a source that keeps failing should stop receiving
+speculative traffic.  :class:`FailureWindow` tracks a sliding window of
+recent attempt outcomes per source, :class:`CircuitBreaker` turns that
+window into the classic closed / open / half-open state machine, and
+:class:`BreakerBoard` keeps one breaker per source for the transport, the
+prefetch planner (skip dead sources), and the LzEval gate (inflate latency
+estimates by the expected retry overhead).
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.remote.element import DataKey
 
-__all__ = ["LatencyMonitor"]
+__all__ = [
+    "LatencyMonitor",
+    "FailureWindow",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
 
 
 class LatencyMonitor:
@@ -54,3 +77,174 @@ class LatencyMonitor:
 
     def __repr__(self) -> str:
         return f"LatencyMonitor({self.observations} observations, {len(self._by_key)} keys)"
+
+
+class FailureWindow:
+    """Sliding window over the last ``size`` attempt outcomes of one source."""
+
+    __slots__ = ("_outcomes", "_failures")
+
+    def __init__(self, size: int = 32) -> None:
+        if size < 1:
+            raise ValueError(f"window size must be >= 1: {size}")
+        self._outcomes: deque[bool] = deque(maxlen=size)
+        self._failures = 0
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def size(self) -> int:
+        return self._outcomes.maxlen or 0
+
+    def record(self, ok: bool) -> None:
+        if len(self._outcomes) == self._outcomes.maxlen and not self._outcomes[0]:
+            self._failures -= 1
+        self._outcomes.append(ok)
+        if not ok:
+            self._failures += 1
+
+    def failure_rate(self) -> float:
+        """Fraction of failed attempts in the window (0 while empty)."""
+        if not self._outcomes:
+            return 0.0
+        return self._failures / len(self._outcomes)
+
+    def __repr__(self) -> str:
+        return f"FailureWindow({self._failures}/{len(self._outcomes)} failed)"
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over one source's failure window.
+
+    *Closed*: requests flow; once the window holds ``min_samples`` outcomes
+    and its failure rate reaches ``failure_threshold``, the breaker opens.
+    *Open*: requests fail fast (no wire attempt) for ``cooldown`` virtual us.
+    *Half-open*: after the cooldown the next request probes the source; a
+    success closes the breaker (and resets the window), a failure re-opens
+    it for another cooldown.
+
+    The simulation is single-threaded and attempt outcomes are recorded at
+    issue time, so the half-open state needs no concurrent-probe limit: the
+    probe's outcome transitions the breaker before the next request asks.
+    """
+
+    __slots__ = ("window", "failure_threshold", "min_samples", "cooldown",
+                 "_state", "_opened_at", "opens")
+
+    def __init__(
+        self,
+        window_size: int = 32,
+        failure_threshold: float = 0.5,
+        min_samples: int = 8,
+        cooldown: float = 2_000.0,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(f"failure threshold must be in (0, 1]: {failure_threshold}")
+        if min_samples < 1:
+            raise ValueError(f"min samples must be >= 1: {min_samples}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive: {cooldown}")
+        self.window = FailureWindow(window_size)
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self._state = BREAKER_CLOSED
+        self._opened_at = 0.0
+        self.opens = 0
+
+    def state(self, now: float) -> str:
+        if self._state == BREAKER_OPEN and now - self._opened_at >= self.cooldown:
+            return BREAKER_HALF_OPEN
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """May a request be issued to this source at ``now``?"""
+        state = self.state(now)
+        if state == BREAKER_OPEN:
+            return False
+        if state == BREAKER_HALF_OPEN:
+            self._state = BREAKER_HALF_OPEN
+        return True
+
+    def record(self, ok: bool, now: float) -> None:
+        """Fold one attempt outcome into the breaker."""
+        self.window.record(ok)
+        if self._state == BREAKER_HALF_OPEN:
+            if ok:
+                self._state = BREAKER_CLOSED
+                self.window = FailureWindow(self.window.size)
+                self.window.record(ok)
+            else:
+                self._open(now)
+            return
+        if (
+            self._state == BREAKER_CLOSED
+            and not ok
+            and len(self.window) >= self.min_samples
+            and self.window.failure_rate() >= self.failure_threshold
+        ):
+            self._open(now)
+
+    def _open(self, now: float) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = now
+        self.opens += 1
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self._state}, opens={self.opens})"
+
+
+class BreakerBoard:
+    """One circuit breaker per remote source, created on first contact."""
+
+    __slots__ = ("window_size", "failure_threshold", "min_samples", "cooldown", "_breakers")
+
+    def __init__(
+        self,
+        window_size: int = 32,
+        failure_threshold: float = 0.5,
+        min_samples: int = 8,
+        cooldown: float = 2_000.0,
+    ) -> None:
+        self.window_size = window_size
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, source: str) -> CircuitBreaker:
+        breaker = self._breakers.get(source)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.window_size, self.failure_threshold, self.min_samples, self.cooldown
+            )
+            self._breakers[source] = breaker
+        return breaker
+
+    def allow(self, source: str, now: float) -> bool:
+        return self.breaker(source).allow(now)
+
+    def available(self, source: str, now: float) -> bool:
+        """Pure availability probe (no half-open side effects) for planners."""
+        breaker = self._breakers.get(source)
+        return breaker is None or breaker.state(now) != BREAKER_OPEN
+
+    def record(self, source: str, ok: bool, now: float) -> None:
+        self.breaker(source).record(ok, now)
+
+    def failure_rate(self, source: str) -> float:
+        breaker = self._breakers.get(source)
+        return breaker.window.failure_rate() if breaker is not None else 0.0
+
+    def state(self, source: str, now: float) -> str:
+        breaker = self._breakers.get(source)
+        return breaker.state(now) if breaker is not None else BREAKER_CLOSED
+
+    @property
+    def opens(self) -> int:
+        """Total number of open transitions across all sources."""
+        return sum(breaker.opens for breaker in self._breakers.values())
+
+    def __repr__(self) -> str:
+        return f"BreakerBoard({len(self._breakers)} sources, opens={self.opens})"

@@ -1,4 +1,4 @@
-"""Transmission-latency model and in-flight request tracking.
+"""Transmission-latency model, fault injection, and in-flight tracking.
 
 The CEP engine never touches :class:`repro.remote.store.RemoteStore`
 directly; every access goes through a :class:`Transport`, which charges the
@@ -12,9 +12,25 @@ transmission latency ``l_remote(d)`` of §2.1.  Two access modes exist:
   ``now + l_remote(d)``; the pipeline deposits delivered elements into the
   cache.
 
-Concurrent requests for the same key are coalesced: a second ``fetch_async``
-while the first is in flight returns the existing request, like a request
-de-duplicating client library would.
+Concurrent requests for the same key are coalesced — blocking and async
+alike: while either kind of request is in flight, a second request for the
+same key joins it instead of issuing a duplicate wire request.
+
+Fault tolerance
+---------------
+An optional :class:`~repro.remote.faults.FaultModel` decides per attempt
+whether the fetch succeeds, errors, is dropped, or suffers a latency spike;
+an optional :class:`~repro.remote.retry.RetryPolicy` re-issues failed
+attempts with exponential backoff through the virtual clock (blocking
+fetches extend the stall, async fetches re-enter the in-flight table); and
+an optional :class:`~repro.remote.monitor.BreakerBoard` fail-fasts requests
+to sources whose recent attempts keep failing.  A request that exhausts its
+retries is delivered with ``ok=False`` and ``element=None`` — a *failed*
+fetch is deliberately distinguishable from one that succeeded with the
+store's ``MISSING_VALUE`` sentinel (an empty answer is an answer; a failure
+is not).  All three collaborators are optional; with none attached the
+transport behaves (and draws random numbers) exactly as the fault-free
+substrate did.
 """
 
 from __future__ import annotations
@@ -23,7 +39,9 @@ import random
 from abc import ABC, abstractmethod
 
 from repro.remote.element import DataElement, DataKey
-from repro.remote.monitor import LatencyMonitor
+from repro.remote.faults import DROP, ERROR, SLOW, FaultModel
+from repro.remote.monitor import BreakerBoard, LatencyMonitor
+from repro.remote.retry import RetryPolicy
 from repro.remote.store import RemoteStore
 
 __all__ = [
@@ -88,32 +106,60 @@ class PerSourceLatency(LatencyModel):
 
 
 class FetchRequest:
-    """One outstanding (or completed) remote fetch."""
+    """One outstanding (or completed) remote fetch attempt.
 
-    __slots__ = ("key", "issued_at", "arrives_at", "element")
+    ``ok`` distinguishes a successful response from a failed one; a failed
+    request carries ``element=None`` and an ``error`` tag (``"error"``,
+    ``"timeout"``, or ``"breaker_open"``) and its ``arrives_at`` is the time
+    the *failure becomes known* (the error round trip, or the attempt
+    timeout for drops).  ``attempt`` counts from 1; ``first_issued_at``
+    anchors the per-fetch retry deadline.  ``final`` marks a request whose
+    retry budget is spent — it will be delivered as-is.
+    """
 
-    def __init__(self, key: DataKey, issued_at: float, arrives_at: float, element: DataElement):
+    __slots__ = ("key", "issued_at", "arrives_at", "element", "ok", "error",
+                 "attempt", "first_issued_at", "final")
+
+    def __init__(
+        self,
+        key: DataKey,
+        issued_at: float,
+        arrives_at: float,
+        element: DataElement | None,
+        ok: bool = True,
+        error: str | None = None,
+        attempt: int = 1,
+        first_issued_at: float | None = None,
+        final: bool = True,
+    ) -> None:
         self.key = key
         self.issued_at = issued_at
         self.arrives_at = arrives_at
         self.element = element
+        self.ok = ok
+        self.error = error
+        self.attempt = attempt
+        self.first_issued_at = issued_at if first_issued_at is None else first_issued_at
+        self.final = final
 
     @property
     def latency(self) -> float:
         return self.arrives_at - self.issued_at
 
     def __repr__(self) -> str:
+        status = "ok" if self.ok else f"failed:{self.error}"
         return (
             f"FetchRequest({self.key!r}, issued={self.issued_at:.1f}, "
-            f"arrives={self.arrives_at:.1f})"
+            f"arrives={self.arrives_at:.1f}, {status}, attempt={self.attempt})"
         )
 
 
 class Transport:
     """Mediates all remote access, charging transmission latency.
 
-    Statistics (``blocking_fetches``, ``async_fetches``, ``coalesced``) feed
-    the experiment reports.
+    Statistics (``blocking_fetches``, ``async_fetches``, ``coalesced``,
+    ``retries``, ``failed_fetches``, ``breaker_fastfails``) feed the
+    experiment reports.
     """
 
     def __init__(
@@ -122,34 +168,63 @@ class Transport:
         latency_model: LatencyModel,
         rng: random.Random,
         monitor: LatencyMonitor | None = None,
+        fault_model: FaultModel | None = None,
+        fault_rng: random.Random | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breakers: BreakerBoard | None = None,
     ) -> None:
         self._store = store
         self._latency_model = latency_model
         self._rng = rng
         self.monitor = monitor if monitor is not None else LatencyMonitor()
+        self._fault_model = fault_model
+        # The fault stream is separate from the latency stream so that a
+        # fault-free run draws exactly the latencies it always did.
+        self._fault_rng = fault_rng if fault_rng is not None else random.Random(0x0FA117)
+        self._retry = retry_policy
+        self.breakers = breakers
         self._in_flight: dict[DataKey, FetchRequest] = {}
         self.blocking_fetches = 0
         self.async_fetches = 0
         self.coalesced = 0
+        self.retries = 0
+        self.failed_fetches = 0
+        self.breaker_fastfails = 0
 
     @property
     def store(self) -> RemoteStore:
         return self._store
 
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        return self._retry
+
     def fetch_blocking(self, key: DataKey, now: float) -> FetchRequest:
         """Fetch ``key`` synchronously; the caller must stall to ``arrives_at``.
 
         If the same key is already in flight (e.g. a prefetch raced ahead),
-        the pending request is returned so the caller only waits for the
+        the pending request is joined so the caller only waits for the
         *remaining* time — issuing a second wire request would be wasteful
-        and would overstate the stall.
+        and would overstate the stall.  A pending request that is doomed to
+        fail is taken over: the blocking caller continues its retry chain
+        synchronously, so the returned request always reflects the final
+        outcome.  The request is registered in flight for the duration of
+        the stall so that an async fetch issued at the same virtual instant
+        coalesces with it (the symmetric twin of the async-first case); the
+        caller deregisters it via :meth:`complete` once consumed.
         """
         pending = self._in_flight.get(key)
         if pending is not None:
             self.coalesced += 1
-            return pending
+            if pending.ok or pending.final:
+                return pending
+            request = self._retry_to_completion(pending, count_failure=True)
+            self._in_flight[key] = request
+            return request
         self.blocking_fetches += 1
-        return self._issue(key, now)
+        request = self._retry_to_completion(self._issue(key, now), count_failure=True)
+        self._in_flight[key] = request
+        return request
 
     def fetch_async(self, key: DataKey, now: float) -> FetchRequest:
         """Issue a non-blocking fetch; response is due at ``arrives_at``."""
@@ -166,26 +241,139 @@ class Transport:
         """The pending request for ``key``, if any."""
         return self._in_flight.get(key)
 
-    def deliver_due(self, now: float) -> list[FetchRequest]:
-        """Pop and return every async request whose response has arrived."""
-        delivered = [req for req in self._in_flight.values() if req.arrives_at <= now]
-        for request in delivered:
+    def complete(self, request: FetchRequest) -> None:
+        """Deregister a blocking request its caller has consumed."""
+        if self._in_flight.get(request.key) is request:
             del self._in_flight[request.key]
-        delivered.sort(key=lambda req: req.arrives_at)
+
+    def deliver_due(self, now: float) -> list[FetchRequest]:
+        """Pop and return every async request whose outcome is known by ``now``.
+
+        Failed attempts with retry budget left are re-issued (after backoff)
+        instead of delivered; only successes and terminal failures come out.
+        Delivery order is deterministic: ``(arrives_at, issued_at, key)`` —
+        plain arrival order would leave ties at the mercy of dict insertion
+        order, which retry rescheduling perturbs.
+        """
+        delivered: list[FetchRequest] = []
+        for key in list(self._in_flight):
+            request = self._in_flight[key]
+            while request.arrives_at <= now:
+                if request.ok or request.final:
+                    delivered.append(request)
+                    del self._in_flight[key]
+                    break
+                next_request = self._reissue(request)
+                if next_request is None:
+                    self.failed_fetches += 1
+                    request.final = True
+                    delivered.append(request)
+                    del self._in_flight[key]
+                    break
+                request = next_request
+                self._in_flight[key] = request
+        delivered.sort(key=lambda req: (req.arrives_at, req.issued_at, repr(req.key)))
         return delivered
 
     def pending_count(self) -> int:
         return len(self._in_flight)
 
-    def _issue(self, key: DataKey, now: float) -> FetchRequest:
-        latency = self._latency_model.sample(key, self._rng)
-        element = self._store.lookup(key)
-        request = FetchRequest(key, issued_at=now, arrives_at=now + latency, element=element)
-        self.monitor.record(key, latency)
+    # -- health-aware estimates ------------------------------------------------
+    def source_available(self, source: str, now: float) -> bool:
+        """Is the source worth speculative traffic (breaker not open)?"""
+        return self.breakers is None or self.breakers.available(source, now)
+
+    def effective_estimate(self, key: DataKey) -> float:
+        """``l_remote`` estimate including expected retry overhead.
+
+        With a healthy source (or no fault machinery) this equals the plain
+        monitor estimate, so fault-free planning decisions are unchanged.
+        """
+        estimate = self.monitor.estimate(key)
+        if self._retry is None or self.breakers is None:
+            return estimate
+        failure_rate = self.breakers.failure_rate(key[0])
+        if failure_rate <= 0.0:
+            return estimate
+        return estimate + self._retry.expected_overhead(failure_rate, estimate)
+
+    # -- issue / retry internals ----------------------------------------------
+    def _retry_to_completion(self, request: FetchRequest, count_failure: bool) -> FetchRequest:
+        """Drive a request's retry chain synchronously to its final outcome."""
+        while not request.ok:
+            next_request = self._reissue(request)
+            if next_request is None:
+                if count_failure:
+                    self.failed_fetches += 1
+                break
+            request = next_request
+        request.final = True
         return request
+
+    def _reissue(self, request: FetchRequest) -> FetchRequest | None:
+        """The follow-up attempt for a failed request, or None if spent."""
+        if self._retry is None or request.error == "breaker_open":
+            return None
+        next_attempt = request.attempt + 1
+        if not self._retry.allows(next_attempt, request.arrives_at - request.first_issued_at):
+            return None
+        self.retries += 1
+        reissue_at = request.arrives_at + self._retry.backoff(request.attempt, self._rng)
+        return self._issue(
+            request.key, reissue_at, attempt=next_attempt,
+            first_issued_at=request.first_issued_at,
+        )
+
+    def _issue(
+        self,
+        key: DataKey,
+        now: float,
+        attempt: int = 1,
+        first_issued_at: float | None = None,
+    ) -> FetchRequest:
+        first = now if first_issued_at is None else first_issued_at
+        if self.breakers is not None and not self.breakers.allow(key[0], now):
+            # Fail fast without a wire attempt: no latency draw, no fault
+            # draw, and no window sample (the breaker re-probes by time).
+            self.breaker_fastfails += 1
+            return FetchRequest(
+                key, issued_at=now, arrives_at=now, element=None, ok=False,
+                error="breaker_open", attempt=attempt, first_issued_at=first, final=False,
+            )
+        latency = self._latency_model.sample(key, self._rng)
+        decision = None
+        if self._fault_model is not None:
+            decision = self._fault_model.decide(key, now, attempt, self._fault_rng)
+        if decision is None or decision.kind not in (ERROR, DROP):
+            if decision is not None and decision.kind == SLOW:
+                latency *= decision.latency_scale
+            element = self._store.lookup(key)
+            request = FetchRequest(
+                key, issued_at=now, arrives_at=now + latency, element=element,
+                attempt=attempt, first_issued_at=first, final=False,
+            )
+            self.monitor.record(key, latency)
+            if self.breakers is not None:
+                self.breakers.record(key[0], True, now)
+            return request
+        if decision.kind == ERROR:
+            # A fast error response: the failure is known after the round trip.
+            known_after = latency
+            error = "error"
+        else:
+            # A silent drop: the failure is only known at the attempt timeout.
+            known_after = self._retry.attempt_timeout if self._retry is not None else latency
+            error = "timeout"
+        if self.breakers is not None:
+            self.breakers.record(key[0], False, now)
+        return FetchRequest(
+            key, issued_at=now, arrives_at=now + known_after, element=None, ok=False,
+            error=error, attempt=attempt, first_issued_at=first, final=False,
+        )
 
     def __repr__(self) -> str:
         return (
             f"Transport(blocking={self.blocking_fetches}, async={self.async_fetches}, "
-            f"coalesced={self.coalesced}, pending={len(self._in_flight)})"
+            f"coalesced={self.coalesced}, retries={self.retries}, "
+            f"failed={self.failed_fetches}, pending={len(self._in_flight)})"
         )

@@ -34,10 +34,19 @@ from repro.utility.model import UtilityModel
 from repro.utility.noise import NoiseModel
 from repro.utility.rates import RateEstimator
 
-__all__ = ["RuntimeContext", "StrategyStats", "FetchStrategy"]
+__all__ = ["RuntimeContext", "StrategyStats", "FetchStrategy", "FAIL_OPEN", "FAIL_CLOSED"]
 
 _PURPOSE_PREFETCH = "prefetch"
 _PURPOSE_LAZY = "lazy"
+
+# How a predicate whose remote data is *terminally* unavailable (fetch failed
+# after all retries, no stale value to serve) resolves:
+# fail-closed — the predicate counts as false: the affected partial match is
+#   dropped (no match emitted from unverified data);
+# fail-open — the predicate counts as true: the match is emitted despite the
+#   missing evidence (availability over strictness).
+FAIL_OPEN = "fail_open"
+FAIL_CLOSED = "fail_closed"
 
 
 @dataclass
@@ -59,6 +68,8 @@ class RuntimeContext:
     prefetch_gate_enabled: bool = True
     lazy_gate_enabled: bool = True
     utility_tick_interval: int = 1
+    failure_mode: str = FAIL_CLOSED
+    stale_serve_enabled: bool = True
 
 
 @dataclass
@@ -73,6 +84,13 @@ class StrategyStats:
     forced_blocks: int = 0
     history_hits: int = 0
     history_misses: int = 0
+    # Fault-tolerance counters (all zero on a healthy network).
+    fetch_failures: int = 0
+    retries: int = 0
+    breaker_opens: int = 0
+    breaker_skips: int = 0
+    obligations_expired: int = 0
+    stale_serves: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -85,6 +103,12 @@ class StrategyStats:
             "forced_blocks": self.forced_blocks,
             "history_hits": self.history_hits,
             "history_misses": self.history_misses,
+            "fetch_failures": self.fetch_failures,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "breaker_skips": self.breaker_skips,
+            "obligations_expired": self.obligations_expired,
+            "stale_serves": self.stale_serves,
         }
         data.update(self.extra)
         return data
@@ -107,6 +131,14 @@ class FetchStrategy:
         # obligation-resolution round (survives cache eviction races and
         # serves cacheless strategies like BL3).
         self._staged: dict[DataKey, Any] = {}
+        # Keys whose fetch terminally failed during the current blocking
+        # round: _collect must not re-request them (each re-fetch would stall
+        # the engine again), and their predicates resolve per failure_mode.
+        self._round_failed: set[DataKey] = set()
+        self._in_blocking_round = False
+        # Last successfully fetched value per key, for stale-cache fallback
+        # when a fresh fetch terminally fails (only kept while enabled).
+        self._last_known: dict[DataKey, Any] = {}
         self.last_postpone_ell = 0.0
 
     # -- wiring ----------------------------------------------------------------
@@ -156,7 +188,7 @@ class FetchStrategy:
                 self.stats.lazy_postponements += 1
                 return POSTPONED
             values.update(self._block_for(missing))
-        return _evaluate_with(predicate, env, values)
+        return _evaluate_with(predicate, env, values, self.ctx.failure_mode)
 
     def resolve_obligation_predicate(
         self, predicate: Predicate, env: Mapping[str, Event], blocking: bool
@@ -169,7 +201,7 @@ class FetchStrategy:
             if not blocking:
                 return POSTPONED
             values.update(self._block_for(missing))
-        return _evaluate_with(predicate, env, values)
+        return _evaluate_with(predicate, env, values, self.ctx.failure_mode)
 
     def prepare_blocking(self, run: Run) -> None:
         """Fetch everything a run's obligations still miss, in one round.
@@ -182,6 +214,7 @@ class FetchStrategy:
         missing: list[DataKey] = []
         seen: set[DataKey] = set()
         self._deliver_due()
+        self._in_blocking_round = True
         for obligation in run.obligations:
             for predicate in obligation.predicates:
                 for key in predicate.remote_keys(obligation.env):
@@ -194,6 +227,8 @@ class FetchStrategy:
     def finish_blocking(self) -> None:
         """End of a blocking obligation-resolution round: drop staged values."""
         self._staged.clear()
+        self._round_failed.clear()
+        self._in_blocking_round = False
 
     def should_block_obligations(self, run: Run) -> bool:
         """Default: obligations ride until the final state resolves them."""
@@ -214,6 +249,11 @@ class FetchStrategy:
         self.ctx.utility.on_run_created(run)
 
     def on_run_dropped(self, run: Run, reason: str) -> None:
+        # Obligations that ride a run out of its window (or to end of
+        # stream) expire deterministically with the run: the data they
+        # waited for never arrived in time to matter.
+        if run.obligations and reason in ("expired", "flushed"):
+            self.stats.obligations_expired += len(run.obligations)
         self.ctx.utility.on_run_dropped(run)
 
     def observe_guard(self, transition: Transition, passed: bool) -> None:
@@ -243,6 +283,10 @@ class FetchStrategy:
             if key in self._staged:
                 values[key] = self._staged[key]
                 continue
+            if key in self._round_failed:
+                # Terminally failed this round: neither available nor worth
+                # re-requesting — the predicate resolves per failure_mode.
+                continue
             element = cache.get(key, now) if cache is not None else None
             if element is None:
                 missing.append(key)
@@ -258,22 +302,34 @@ class FetchStrategy:
         return self.ctx.transport.store.lookup(key).value
 
     def _block_for(self, keys: list[DataKey]) -> dict[DataKey, Any]:
-        """Fetch ``keys``, stalling the engine until all responses arrived.
+        """Fetch ``keys``, stalling the engine until all outcomes are known.
 
         Requests are issued concurrently (the stall is the max, not the sum
         — this is what makes BL3's one-shot fetching cheaper per match than
         BL1's state-by-state stalls).  Requests already in flight are simply
-        awaited for their remaining time.  Returns the fetched values; with
-        a cache attached they are also inserted (tier T1 — their use is
-        certain), while BL1 keeps nothing beyond the returned snapshot.
+        awaited for their remaining time; pending requests that are doomed
+        to fail are taken over so their retry chain completes within the
+        stall.  Returns the fetched values; with a cache attached they are
+        also inserted (tier T1 — their use is certain), while BL1 keeps
+        nothing beyond the returned snapshot.
+
+        A key whose fetch terminally fails (retries exhausted) is served
+        from the stale-value fallback when enabled and known, and is
+        otherwise left out of the returned snapshot — the caller's
+        ``failure_mode`` then decides the predicate.
         """
         ctx = self.ctx
         now = ctx.clock.now
         latest = now
         requests = []
+        owned: list = []  # blocking requests this call issued (to deregister)
         for key in keys:
             pending = ctx.transport.in_flight(key)
-            request = pending if pending is not None else ctx.transport.fetch_blocking(key, now)
+            if pending is not None and (pending.ok or pending.final):
+                request = pending
+            else:
+                request = ctx.transport.fetch_blocking(key, now)
+                owned.append(request)
             requests.append(request)
             if request.arrives_at > latest:
                 latest = request.arrives_at
@@ -282,16 +338,38 @@ class FetchStrategy:
         ctx.clock.advance_to(latest)
         values: dict[DataKey, Any] = {}
         cache = ctx.cache
+        owned_set = {id(request) for request in owned}
         for request in requests:
             self._purpose.pop(request.key, None)
-            values[request.key] = request.element.value
-            if cache is not None:
-                cache.put(request.element, ctx.clock.now, certain=True)
+            if request.ok:
+                values[request.key] = request.element.value
+                if ctx.stale_serve_enabled:
+                    self._last_known[request.key] = request.element.value
+                if cache is not None:
+                    cache.put(request.element, ctx.clock.now, certain=True)
+                continue
+            # Terminal failure.  Pending async failures are counted when
+            # delivered; only failures of requests we issued count here.
+            if id(request) in owned_set:
+                self.stats.fetch_failures += 1
+            if self._in_blocking_round:
+                self._round_failed.add(request.key)
+            if ctx.stale_serve_enabled and request.key in self._last_known:
+                values[request.key] = self._last_known[request.key]
+                self.stats.stale_serves += 1
+        for request in owned:
+            ctx.transport.complete(request)
         self._deliver_due()
         return values
 
     def _deliver_due(self) -> None:
-        """Move arrived async responses into the cache."""
+        """Move arrived async responses into the cache.
+
+        Failed responses (retries exhausted) deliver nothing: the key simply
+        stays absent, which is *not* the same as a successful fetch of the
+        ``MISSING_VALUE`` sentinel — a later evaluation either re-fetches or
+        resolves per ``failure_mode``.
+        """
         ctx = self.ctx
         delivered = ctx.transport.deliver_due(ctx.clock.now)
         if not delivered:
@@ -299,6 +377,11 @@ class FetchStrategy:
         cache = ctx.cache
         for request in delivered:
             purpose = self._purpose.pop(request.key, _PURPOSE_LAZY)
+            if not request.ok:
+                self.stats.fetch_failures += 1
+                continue
+            if ctx.stale_serve_enabled:
+                self._last_known[request.key] = request.element.value
             if cache is not None:
                 cache.put(request.element, ctx.clock.now, certain=purpose == _PURPOSE_LAZY)
 
@@ -331,6 +414,10 @@ class FetchStrategy:
 
     def end_of_stream(self) -> None:
         """Cleanup hook after the last event (subclass extension point)."""
+        transport = self.ctx.transport
+        self.stats.retries = transport.retries
+        if transport.breakers is not None:
+            self.stats.breaker_opens = transport.breakers.opens
 
     def describe(self) -> dict[str, Any]:
         data = {"strategy": self.name}
@@ -341,8 +428,19 @@ class FetchStrategy:
         return f"{type(self).__name__}()"
 
 
-def _evaluate_with(predicate: Predicate, env: Mapping[str, Event], values: dict) -> bool:
-    """Evaluate a predicate against a pre-collected value snapshot."""
+def _evaluate_with(
+    predicate: Predicate,
+    env: Mapping[str, Event],
+    values: dict,
+    failure_mode: str | None = None,
+) -> bool:
+    """Evaluate a predicate against a pre-collected value snapshot.
+
+    A key absent from ``values`` after a blocking round means its fetch
+    terminally failed; ``failure_mode`` then decides the predicate
+    (fail-open: true, fail-closed: false).  Without a failure mode the
+    unavailability propagates — on a healthy network it indicates a bug.
+    """
 
     def resolver(key):
         try:
@@ -350,4 +448,11 @@ def _evaluate_with(predicate: Predicate, env: Mapping[str, Event], values: dict)
         except KeyError:
             raise RemoteDataUnavailable(key) from None
 
-    return predicate.evaluate(env, resolver)
+    try:
+        return predicate.evaluate(env, resolver)
+    except RemoteDataUnavailable:
+        if failure_mode == FAIL_OPEN:
+            return True
+        if failure_mode == FAIL_CLOSED:
+            return False
+        raise

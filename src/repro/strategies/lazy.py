@@ -133,7 +133,11 @@ class LzEvalStrategy(FetchStrategy):
         missing: list[DataKey],
     ) -> bool:
         ctx = self.ctx
-        ell = max(ctx.transport.monitor.estimate(key) for key in missing)
+        # Effective latency includes the expected retry overhead for keys on
+        # flaky sources — postponement must hide the *whole* expected wait
+        # (Eq. 8 with ell lifted to the fault-adjusted estimate).  On a
+        # healthy source this is exactly the monitored estimate.
+        ell = max(ctx.transport.effective_estimate(key) for key in missing)
         if ctx.lazy_gate_enabled:
             succ = self.benefit.succ_set(transition, ell)
             if not succ:

@@ -27,8 +27,6 @@ Fig. 5d tail latencies show.
 
 from __future__ import annotations
 
-from typing import Mapping
-
 from repro.events.event import Event
 from repro.nfa.automaton import RemoteSite, Transition
 from repro.nfa.run import Run
@@ -181,6 +179,11 @@ class PFetchStrategy(FetchStrategy):
             # A phantom partial match was expected: fetch a useless element.
             key = ctx.noise.decoy_key(key)
         if self._available(key) or ctx.transport.in_flight(key) is not None:
+            return
+        if not ctx.transport.source_available(key[0], now):
+            # Speculative traffic to a source with an open breaker is pure
+            # waste; a later urgent need will probe it via the blocking path.
+            self.stats.breaker_skips += 1
             return
         cache = ctx.cache
         if ctx.prefetch_gate_enabled and cache is not None and cache.used >= cache.capacity:

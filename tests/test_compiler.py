@@ -6,7 +6,6 @@ from repro.nfa.compiler import compile_query
 from repro.query.ast import EventAtom, Query, SeqPattern, Window
 from repro.query.errors import CompileError
 from repro.query.parser import parse_query
-from repro.query.predicates import Attr, Comparison, RemoteRef
 
 
 def _compile(text, name="q"):

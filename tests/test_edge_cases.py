@@ -1,9 +1,6 @@
 """Edge-case and failure-injection tests across modules."""
 
-import pytest
-
 from repro.core.config import EiresConfig
-from repro.core.framework import EIRES
 from repro.events.event import Event
 from repro.events.stream import Stream
 from repro.query.parser import parse_query

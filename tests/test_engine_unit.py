@@ -9,7 +9,7 @@ from repro.events.stream import Stream
 from repro.nfa.compiler import compile_query
 from repro.nfa.run import Obligation, Run
 from repro.query.parser import parse_query
-from repro.query.predicates import Attr, Comparison, Const
+from repro.query.predicates import Comparison, Const
 from repro.sim.clock import VirtualClock
 
 from tests.helpers import make_abc_scenario, random_stream, run_eires

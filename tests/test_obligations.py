@@ -7,8 +7,6 @@ the retained original carries ``NOT p`` with a snapshot of the evaluation
 environment.  Once the data arrives, exactly one branch survives.
 """
 
-import pytest
-
 from repro.events.event import Event
 from repro.events.stream import Stream
 from repro.query.parser import parse_query

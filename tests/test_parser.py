@@ -5,7 +5,7 @@ import pytest
 from repro.query.ast import EventAtom, OrPattern, SeqPattern, Window
 from repro.query.errors import ParseError
 from repro.query.parser import parse_pattern, parse_query
-from repro.query.predicates import Comparison, Membership, RemoteRef, SameAttribute
+from repro.query.predicates import Comparison, Membership, SameAttribute
 
 
 class TestPatternParsing:

@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.remote.element import DataElement
+from repro.remote.faults import DropFaults
 from repro.remote.monitor import LatencyMonitor
+from repro.remote.retry import RetryPolicy
 from repro.remote.store import MISSING_VALUE, RemoteStore
 from repro.remote.transport import (
     FixedLatency,
@@ -176,6 +178,67 @@ class TestTransport:
         transport = self._transport(42.0)
         transport.fetch_blocking(("t", 1), 0.0)
         assert transport.monitor.estimate(("t", 1)) == 42.0
+
+    def test_blocking_fetch_registers_in_flight(self):
+        # A blocking fetch is visible in the in-flight table until its
+        # consumer completes it — an async fetch issued at the same virtual
+        # instant must coalesce instead of duplicating the wire request.
+        transport = self._transport(10.0)
+        blocking = transport.fetch_blocking(("t", 1), now=0.0)
+        assert transport.in_flight(("t", 1)) is blocking
+        joined = transport.fetch_async(("t", 1), now=0.0)
+        assert joined is blocking
+        assert transport.async_fetches == 0
+        assert transport.coalesced == 1
+        transport.complete(blocking)
+        assert transport.in_flight(("t", 1)) is None
+        # Once completed, the key is fetchable again as a fresh request.
+        assert transport.fetch_async(("t", 1), now=20.0) is not blocking
+
+    def test_complete_ignores_stale_request(self):
+        transport = self._transport(10.0)
+        first = transport.fetch_blocking(("t", 1), now=0.0)
+        transport.complete(first)
+        fresh = transport.fetch_async(("t", 1), now=5.0)
+        transport.complete(first)  # stale handle: must not evict `fresh`
+        assert transport.in_flight(("t", 1)) is fresh
+
+    def test_delivery_ties_broken_deterministically(self):
+        # Identical arrival times: delivery order falls back to issue time,
+        # then to the key itself, independent of dict insertion order.
+        store = RemoteStore()
+        for k in (1, 2, 3):
+            store.put("t", k, str(k))
+        transport = Transport(store, FixedLatency(10.0), make_rng(1))
+        transport.fetch_async(("t", 3), 0.0)
+        transport.fetch_async(("t", 1), 0.0)
+        transport.fetch_async(("t", 2), 5.0)  # arrives at 15
+        delivered = transport.deliver_due(100.0)
+        assert [req.key for req in delivered] == [("t", 1), ("t", 3), ("t", 2)]
+
+    def test_failed_fetch_distinct_from_missing_value(self):
+        # A dropped fetch must never masquerade as a successful fetch of the
+        # store's MISSING_VALUE sentinel: an empty answer is an answer, a
+        # failure is not.
+        store = RemoteStore()
+        store.put("t", 1, "one")
+        transport = Transport(
+            store,
+            FixedLatency(10.0),
+            make_rng(5),
+            fault_model=DropFaults(1.0),
+            fault_rng=make_rng(6),
+            retry_policy=RetryPolicy(max_attempts=2, attempt_timeout=50.0),
+        )
+        failed = transport.fetch_blocking(("t", 1), now=0.0)
+        assert not failed.ok
+        assert failed.element is None
+        assert failed.error == "timeout"
+        # Whereas a fetch of an absent key *succeeds* with the sentinel.
+        clean = Transport(store, FixedLatency(10.0), make_rng(5))
+        missing = clean.fetch_blocking(("t", 99), now=0.0)
+        assert missing.ok
+        assert missing.element.value is MISSING_VALUE
 
 
 class TestLatencyMonitor:
