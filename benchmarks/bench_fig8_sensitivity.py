@@ -14,8 +14,6 @@ Three sweeps over PFetch / LzEval / Hybrid:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import CACHE_COST, EiresConfig
 from repro.engine.engine import GREEDY
 from repro.bench.harness import ExperimentResult, run_strategy

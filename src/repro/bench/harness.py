@@ -17,6 +17,7 @@ from repro.core.config import EiresConfig
 from repro.core.framework import EIRES
 from repro.core.pipeline import RunResult
 from repro.metrics.reporting import format_comparison, format_table
+from repro.obs.trace import Tracer
 from repro.workloads.base import Workload
 
 __all__ = ["run_strategy", "run_strategy_suite", "ExperimentResult", "save_results", "results_dir"]
@@ -34,24 +35,44 @@ def results_dir() -> str:
     return path
 
 
-def run_strategy(workload: Workload, strategy: str, config: EiresConfig) -> RunResult:
-    """One full replay of a workload under one strategy."""
+def run_strategy(
+    workload: Workload,
+    strategy: str,
+    config: EiresConfig,
+    tracer: Tracer | None = None,
+) -> RunResult:
+    """One full replay of a workload under one strategy.
+
+    Pass a :class:`~repro.obs.trace.Tracer` to capture the run's lifecycle
+    trace; tracing never changes the result (same RNG streams, same matches).
+    """
     eires = EIRES(
         workload.query,
         workload.store,
         workload.latency_model,
         strategy=strategy,
         config=config,
+        tracer=tracer,
     )
     return eires.run(workload.stream)
 
 
 class ExperimentResult:
-    """Rows of one experiment plus table/summary rendering."""
+    """Rows of one experiment plus table/summary rendering.
 
-    def __init__(self, name: str, rows: list[dict[str, Any]]) -> None:
+    ``metrics`` holds one registry snapshot per strategy when the experiment
+    was run with observability enabled (see :func:`run_strategy_suite`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rows: list[dict[str, Any]],
+        metrics: dict[str, dict[str, Any]] | None = None,
+    ) -> None:
         self.name = name
         self.rows = rows
+        self.metrics = metrics if metrics is not None else {}
 
     def table(self, columns: Sequence[str] = ("strategy", "matches", "p5", "p25", "p50", "p75", "p95")) -> str:
         return format_table(self.name, self.rows, columns)
@@ -75,16 +96,26 @@ def run_strategy_suite(
     config: EiresConfig,
     strategies: Iterable[str] = ALL_STRATEGIES,
     extra_fields: dict[str, Any] | None = None,
+    trace_sink: Any | None = None,
 ) -> ExperimentResult:
-    """Evaluate several strategies on one workload configuration."""
+    """Evaluate several strategies on one workload configuration.
+
+    With ``trace_sink`` (a :class:`~repro.obs.trace.TraceSink`), every
+    strategy's run is traced into the shared sink under its own track, and
+    per-strategy metrics snapshots are collected on the result.
+    """
     rows = []
+    metrics: dict[str, dict[str, Any]] = {}
     for strategy in strategies:
-        result = run_strategy(workload, strategy, config)
+        tracer = Tracer(trace_sink, track=strategy) if trace_sink is not None else None
+        result = run_strategy(workload, strategy, config, tracer=tracer)
         row = result.summary()
         if extra_fields:
             row.update(extra_fields)
         rows.append(row)
-    return ExperimentResult(name, rows)
+        if result.metrics is not None:
+            metrics[strategy] = result.metrics
+    return ExperimentResult(name, rows, metrics=metrics)
 
 
 def save_results(experiment: ExperimentResult) -> str:

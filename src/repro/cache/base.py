@@ -20,6 +20,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.cache.stats import CacheStats
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import CAT_CACHE, NULL_TRACER, Tracer, trace_key
 from repro.remote.element import DataElement, DataKey
 
 __all__ = ["Cache"]
@@ -33,9 +35,16 @@ class Cache(ABC):
             raise ValueError(f"cache capacity must be positive: {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
+        self.tracer: Tracer = NULL_TRACER
         self._entries: dict[DataKey, DataElement] = {}
         self._part_index: dict[DataKey, DataKey] = {}
         self._used = 0
+
+    def bind_observability(self, registry: MetricsRegistry | None, tracer: Tracer) -> None:
+        """Rebind the (still-empty) stats façade and trace bus at assembly."""
+        if registry is not None:
+            self.stats = CacheStats(registry)
+        self.tracer = tracer
 
     # -- interface ----------------------------------------------------------
     @abstractmethod
@@ -70,6 +79,13 @@ class Cache(ABC):
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CAT_CACHE,
+                "hit" if element is not None else "miss",
+                now,
+                key=trace_key(key),
+            )
         return element
 
     def peek(self, key: DataKey, now: float) -> DataElement | None:
@@ -109,13 +125,17 @@ class Cache(ABC):
         size = element.total_size()
         if size > self.capacity:
             self.stats.rejected += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    CAT_CACHE, "reject", now, key=trace_key(element.key), size=size
+                )
             return False
         if element.key in self._entries:
             # Re-fetching replaces the stored element (fresher value); remove
             # the old entry cleanly, then fall through to a normal insert.
             self._remove(element.key)
         while self._used + size > self.capacity:
-            self._evict_one()
+            self._evict_one(now)
         self._entries[element.key] = element
         self._used += size
         for part in element.descendants():
@@ -123,11 +143,24 @@ class Cache(ABC):
                 self._part_index[part.key] = element.key
         self.stats.insertions += 1
         self._on_insert(element.key, now, certain)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CAT_CACHE,
+                "admit",
+                now,
+                key=trace_key(element.key),
+                size=size,
+                certain=certain,
+                used=self._used,
+            )
         return True
 
-    def _evict_one(self) -> None:
-        self._remove(self._select_victim())
+    def _evict_one(self, now: float) -> None:
+        victim = self._select_victim()
+        self._remove(victim)
         self.stats.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(CAT_CACHE, "evict", now, key=trace_key(victim))
 
     def _remove(self, key: DataKey) -> None:
         element = self._entries.pop(key)

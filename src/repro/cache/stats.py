@@ -1,21 +1,31 @@
-"""Cache statistics, reported by the experiment harness."""
+"""Cache statistics, reported by the experiment harness.
+
+``CacheStats`` is a view over a :class:`~repro.obs.registry.MetricsRegistry`:
+each counter attribute reads and writes a registry cell under
+``cache.<name>``, so metrics snapshots and this façade can never disagree.
+Standalone construction binds a private registry, preserving the original
+plain-counter behaviour for unit tests and unattached caches.
+"""
 
 from __future__ import annotations
 
-__all__ = ["CacheStats"]
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["CacheStats", "CACHE_COUNTER_KEYS"]
+
+# Every counter a cache maintains, in report order (single source of truth
+# for the registry cells and ``as_dict``).
+CACHE_COUNTER_KEYS = ("hits", "misses", "insertions", "evictions", "rejected")
 
 
 class CacheStats:
     """Hit/miss/insertion/eviction counters for one cache instance."""
 
-    __slots__ = ("hits", "misses", "insertions", "evictions", "rejected")
+    __slots__ = ("_cells",)
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-        self.rejected = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._cells = {key: registry.counter(f"cache.{key}") for key in CACHE_COUNTER_KEYS}
 
     @property
     def lookups(self) -> int:
@@ -43,3 +53,18 @@ class CacheStats:
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
             f"insertions={self.insertions}, evictions={self.evictions})"
         )
+
+
+def _counter_property(key: str) -> property:
+    def _get(self: CacheStats):
+        return self._cells[key].value
+
+    def _set(self: CacheStats, value) -> None:
+        self._cells[key].value = value
+
+    return property(_get, _set)
+
+
+for _key in CACHE_COUNTER_KEYS:
+    setattr(CacheStats, _key, _counter_property(_key))
+del _key

@@ -1,20 +1,27 @@
-"""Command-line interface: compare strategies and inspect queries.
+"""Command-line interface: compare strategies, trace runs, inspect queries.
 
 Usage::
 
     python -m repro.cli compare --workload q1 --policy greedy --cache cost
     python -m repro.cli compare --workload cluster --strategies BL1 Hybrid
+    python -m repro.cli compare --workload q1 --json
+    python -m repro.cli trace --workload q1 --strategy Hybrid \\
+        --trace-out q1.trace.json --metrics-out q1.metrics.json
     python -m repro.cli describe --workload fraud
 
 ``compare`` replays a named workload under the selected strategies and
-prints the paper-style percentile table; ``describe`` prints the compiled
-evaluation automaton (states, transitions, remote sites) of the workload's
-query.
+prints the paper-style percentile table (``--json`` emits the rows as JSON
+instead; ``--trace-out`` captures all runs into one trace file, one track
+per strategy); ``trace`` replays one strategy with full lifecycle tracing
+and decision provenance and verifies the trace explains the run;
+``describe`` prints the compiled evaluation automaton (states, transitions,
+remote sites) of the workload's query.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -23,6 +30,9 @@ from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.engine.engine import GREEDY, NON_GREEDY
 from repro.metrics.reporting import format_fault_summary
 from repro.nfa.compiler import compile_query
+from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_snapshot
+from repro.obs.provenance import replay_trace
+from repro.obs.trace import MemorySink, Tracer
 from repro.remote.faults import FAULT_PROFILES
 from repro.strategies.base import FAIL_CLOSED, FAIL_OPEN
 from repro.workloads.base import Workload
@@ -74,10 +84,41 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="how predicates treat terminally unavailable data")
     compare.add_argument("--retry-attempts", type=int, default=3,
                          help="max fetch attempts incl. the first (default: 3)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the per-strategy summary rows as JSON")
+    _add_observability_args(compare)
+
+    trace = subparsers.add_parser(
+        "trace", help="replay one strategy with full lifecycle tracing")
+    trace.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
+    trace.add_argument("--events", type=int, default=6_000)
+    trace.add_argument("--strategy", choices=ALL_STRATEGIES, default="Hybrid")
+    trace.add_argument("--policy", choices=(GREEDY, NON_GREEDY), default=GREEDY)
+    trace.add_argument("--cache", choices=(CACHE_COST, CACHE_LRU), default=CACHE_COST)
+    trace.add_argument("--capacity", type=int, default=None)
+    trace.add_argument("--fault-profile", default="none", metavar="PROFILE")
+    _add_observability_args(trace)
 
     describe = subparsers.add_parser("describe", help="print a workload's automaton")
     describe.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
     return parser
+
+
+def _add_observability_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="write the lifecycle trace to PATH")
+    subparser.add_argument("--trace-format", choices=("chrome", "jsonl"), default="chrome",
+                           help="trace file format: Chrome trace-event JSON "
+                                "(Perfetto-loadable) or raw JSON lines (default: chrome)")
+    subparser.add_argument("--metrics-out", default=None, metavar="PATH",
+                           help="write per-strategy metrics registry snapshots to PATH")
+
+
+def _write_trace(records: list[dict], args: argparse.Namespace) -> None:
+    if args.trace_format == "chrome":
+        write_chrome_trace(records, args.trace_out)
+    else:
+        write_jsonl(records, args.trace_out)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -91,11 +132,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         failure_mode=args.failure_mode,
         retry_max_attempts=args.retry_attempts,
     )
-    rows = [run_strategy(workload, strategy, config).summary() for strategy in args.strategies]
+    sink = MemorySink() if args.trace_out is not None else None
+    rows = []
+    metrics: dict[str, dict] = {}
+    for strategy in args.strategies:
+        tracer = Tracer(sink, track=strategy) if sink is not None else None
+        result = run_strategy(workload, strategy, config, tracer=tracer)
+        rows.append(result.summary())
+        if result.metrics is not None:
+            metrics[strategy] = result.metrics
+    if sink is not None:
+        _write_trace(sink.records, args)
+    if args.metrics_out is not None:
+        write_metrics_snapshot(metrics, args.metrics_out)
     title = f"{args.workload} / {args.policy} / {args.cache} cache (capacity {capacity})"
     if args.fault_profile != "none":
         title += f" / faults={args.fault_profile}"
     experiment = ExperimentResult(title, rows)
+    if args.json:
+        print(json.dumps({"name": title, "rows": rows}, indent=2, default=str))
+        return 0
     print(experiment.table())
     if "Hybrid" in args.strategies and len(args.strategies) > 1:
         print()
@@ -104,6 +160,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print()
         print(format_fault_summary(rows))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload](args.events)
+    capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
+    config = EiresConfig(
+        policy=args.policy,
+        cache_policy=args.cache,
+        cache_capacity=capacity,
+        fault_profile=args.fault_profile,
+    )
+    sink = MemorySink()
+    result = run_strategy(
+        workload, args.strategy, config, tracer=Tracer(sink, track=args.strategy)
+    )
+    replay = replay_trace(sink.records)
+    if args.trace_out is not None:
+        _write_trace(sink.records, args)
+        print(f"trace: {len(sink.records)} records -> {args.trace_out} ({args.trace_format})")
+    else:
+        print(f"trace: {len(sink.records)} records (no --trace-out; not persisted)")
+    if args.metrics_out is not None:
+        write_metrics_snapshot({args.strategy: result.metrics}, args.metrics_out)
+        print(f"metrics: -> {args.metrics_out}")
+    print(
+        f"provenance: {replay['checked_eq7']} Eq.7 decisions, "
+        f"{replay['checked_eq8']} Eq.8 gates replayed, "
+        f"{len(replay['problems'])} inconsistencies"
+    )
+    for problem in replay["problems"]:
+        print(f"  {problem}", file=sys.stderr)
+    print(
+        f"{result.strategy_name}: {result.match_count} matches, "
+        f"p50={result.latency_percentiles()[50]:.1f}us"
+    )
+    return 1 if replay["problems"] else 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -117,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "describe":
         return _cmd_describe(args)
     raise AssertionError(f"unhandled command {args.command!r}")

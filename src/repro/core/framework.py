@@ -30,6 +30,8 @@ from repro.engine.engine import Engine
 from repro.events.stream import Stream
 from repro.nfa.automaton import Automaton
 from repro.nfa.compiler import compile_query
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.query.ast import Query
 from repro.remote.faults import make_fault_model
 from repro.remote.monitor import BreakerBoard, LatencyMonitor
@@ -59,11 +61,14 @@ class EIRES:
         strategy: str | FetchStrategy = "Hybrid",
         config: EiresConfig | None = None,
         backend: str = "automaton",
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config if config is not None else EiresConfig()
         self.query = query
         self.automaton: Automaton = compile_query(query)
         self.clock = VirtualClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         rng = make_rng(self.config.seed)
         self.monitor = LatencyMonitor()
         # The fault rng is a *separate* stream spawned after the transport's:
@@ -84,6 +89,7 @@ class EIRES:
                 failure_threshold=self.config.breaker_failure_threshold,
                 min_samples=self.config.breaker_min_samples,
                 cooldown=self.config.breaker_cooldown,
+                tracer=self.tracer,
             )
             if self.config.breaker_enabled
             else None
@@ -99,7 +105,14 @@ class EIRES:
             breakers=breakers,
         )
         self.strategy = make_strategy(strategy) if isinstance(strategy, str) else strategy
+        if self.tracer.enabled and not self.tracer.track:
+            # Default the trace track to the strategy so multi-strategy
+            # comparisons land on separate rows in the Chrome viewer.
+            self.tracer.track = self.strategy.name
+        self.transport.bind_observability(self.metrics, self.tracer)
         self.cache = self._build_cache()
+        if self.cache is not None:
+            self.cache.bind_observability(self.metrics, self.tracer)
         self.noise = NoiseModel(self.config.noise_ratio, seed=self.config.seed)
         self.utility = UtilityModel(self.automaton, store, self.monitor, noise=self.noise)
         self.rates = RateEstimator()
@@ -127,6 +140,8 @@ class EIRES:
                 utility_tick_interval=self.config.utility_tick_interval,
                 failure_mode=self.config.failure_mode,
                 stale_serve_enabled=self.config.stale_serve_enabled,
+                metrics=self.metrics,
+                tracer=self.tracer,
             )
         )
         if backend == "automaton":

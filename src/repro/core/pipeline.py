@@ -20,6 +20,8 @@ from repro.engine.interface import MatchRecord
 from repro.events.stream import Stream
 from repro.metrics.latency import LatencyCollector
 from repro.metrics.throughput import ThroughputMeter
+from repro.obs.trace import CAT_EVENT, CAT_MATCH, NULL_TRACER
+from repro.remote.transport import TRANSPORT_COUNTER_KEYS
 from repro.strategies.base import FetchStrategy
 
 __all__ = ["RunResult", "Pipeline"]
@@ -39,6 +41,7 @@ class RunResult:
         cache_stats: dict[str, Any] | None,
         transport_stats: dict[str, Any],
         duration_us: float,
+        metrics: dict[str, Any] | None = None,
     ) -> None:
         self.strategy_name = strategy_name
         self.matches = matches
@@ -49,6 +52,9 @@ class RunResult:
         self.cache_stats = cache_stats
         self.transport_stats = transport_stats
         self.duration_us = duration_us
+        # Full registry snapshot when the run was assembled with one; not
+        # part of summary() so observability cannot change reported results.
+        self.metrics = metrics
 
     @property
     def match_count(self) -> int:
@@ -103,23 +109,40 @@ class Pipeline:
         throughput = ThroughputMeter()
         matches: list[MatchRecord] = []
         start = clock.now
+        ctx = strategy.ctx
+        tracer = ctx.tracer if ctx is not None else NULL_TRACER
 
         for index, event in enumerate(stream):
             # The engine picks the event up at arrival or when it frees up,
             # whichever is later — queueing delay is real latency.
             clock.advance_to(event.t)
+            if tracer.enabled:
+                tracer.emit(CAT_EVENT, "arrival", event.t, seq_no=event.seq, picked_up=clock.now)
             strategy.on_event_start(event, index)
             step_matches = engine.process_event(event, strategy)
             strategy.on_event_end(event, step_matches)
             for match in step_matches:
                 latency.record(match.latency)
+                if tracer.enabled:
+                    tracer.emit(
+                        CAT_MATCH,
+                        "emit",
+                        match.detected_at,
+                        latency=match.latency,
+                        fetch_wait=match.fetch_wait,
+                        events=[
+                            [binding, bound.seq]
+                            for binding, bound in sorted(match.events.items())
+                        ],
+                    )
             matches.extend(step_matches)
             throughput.record_event(clock.now)
 
         strategy.end_of_stream()
         engine.flush(strategy)
 
-        cache = strategy.ctx.cache if strategy.ctx is not None else None
+        cache = ctx.cache if ctx is not None else None
+        transport = ctx.transport if ctx is not None else None
         return RunResult(
             strategy_name=strategy.name,
             matches=matches,
@@ -129,12 +152,12 @@ class Pipeline:
             strategy_stats=strategy.stats.as_dict(),
             cache_stats=cache.stats.as_dict() if cache is not None else None,
             transport_stats={
-                "blocking_fetches": strategy.ctx.transport.blocking_fetches,
-                "async_fetches": strategy.ctx.transport.async_fetches,
-                "coalesced": strategy.ctx.transport.coalesced,
-                "retries": strategy.ctx.transport.retries,
-                "failed_fetches": strategy.ctx.transport.failed_fetches,
-                "breaker_fastfails": strategy.ctx.transport.breaker_fastfails,
-            },
+                key: getattr(transport, key) for key in TRANSPORT_COUNTER_KEYS
+            }
+            if transport is not None
+            else {},
             duration_us=clock.now - start,
+            metrics=ctx.metrics.snapshot()
+            if ctx is not None and ctx.metrics is not None
+            else None,
         )

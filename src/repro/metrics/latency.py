@@ -36,9 +36,11 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     if lower == upper:
         return sorted_values[lower]
     fraction = rank - lower
-    interpolated = sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
-    # Guard against float rounding pushing the result outside the data range.
-    return min(max(interpolated, sorted_values[0]), sorted_values[-1])
+    lo, hi = sorted_values[lower], sorted_values[upper]
+    # lo + f*(hi-lo) rather than lo*(1-f) + hi*f: the latter can round to
+    # lo + 1ulp even when lo == hi, breaking monotonicity in q.  Clamping to
+    # the bracket keeps rounding from ever leaving [lo, hi].
+    return min(max(lo + fraction * (hi - lo), lo), hi)
 
 
 class LatencyCollector:

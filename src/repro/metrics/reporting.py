@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
+from repro.remote.transport import TRANSPORT_FAULT_COUNTER_KEYS
+from repro.strategies.base import DEGRADATION_COUNTER_KEYS
+
 __all__ = [
     "format_table",
     "format_comparison",
@@ -19,16 +22,12 @@ __all__ = [
 ]
 
 # Degradation counters surfaced by faulted runs (summary() key names).
+# Derived from the single-source-of-truth counter tuples so a renamed
+# counter cannot silently drop out of the fault table.
 FAULT_COLUMNS = (
     "strategy",
-    "fetch.fetch_failures",
-    "fetch.retries",
-    "fetch.breaker_opens",
-    "fetch.breaker_skips",
-    "fetch.obligations_expired",
-    "fetch.stale_serves",
-    "transport.failed_fetches",
-    "transport.breaker_fastfails",
+    *(f"fetch.{key}" for key in DEGRADATION_COUNTER_KEYS),
+    *(f"transport.{key}" for key in TRANSPORT_FAULT_COUNTER_KEYS),
 )
 
 

@@ -1,0 +1,65 @@
+"""Observability: trace bus, metrics registry, exporters, provenance replay.
+
+The ``repro.obs`` package makes EIRES's scheduling decisions inspectable:
+
+* :mod:`repro.obs.trace` — a structured trace bus emitting typed lifecycle
+  records (event arrival, partial-match lifecycle, prefetch decisions, cache
+  and fetch activity, obligation postpone/resolve, match emission), all
+  timestamped from the virtual clock so traces are deterministic;
+* :mod:`repro.obs.registry` — counters, gauges and virtual-time-windowed
+  histograms; the component stats façades are views over one registry;
+* :mod:`repro.obs.export` — JSONL, Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and metrics-snapshot writers;
+* :mod:`repro.obs.provenance` — replays Eq. 7 / Eq. 8 decision records
+  against the model, proving the trace explains the run;
+* :mod:`repro.obs.validate` — the CI smoke validator for Chrome traces.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_snapshot,
+)
+from repro.obs.provenance import replay_trace, verify_eq7_record, verify_eq8_record
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    CATEGORIES,
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Tracer,
+    TraceSink,
+)
+__all__ = [
+    "CATEGORIES",
+    "NULL_TRACER",
+    "Tracer",
+    "TraceSink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_snapshot",
+    "replay_trace",
+    "verify_eq7_record",
+    "verify_eq8_record",
+    "validate_chrome_trace",
+]
+
+
+def __getattr__(name: str):
+    # Imported lazily so ``python -m repro.obs.validate`` does not trigger
+    # runpy's found-in-sys.modules warning when the package initialises.
+    if name == "validate_chrome_trace":
+        from repro.obs.validate import validate_chrome_trace
+
+        return validate_chrome_trace
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

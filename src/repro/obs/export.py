@@ -1,0 +1,122 @@
+"""Trace and metrics exporters: JSONL, Chrome trace-event JSON, snapshots.
+
+The Chrome exporter produces the `trace-event format`_ consumed by Perfetto
+and ``chrome://tracing``: one *process* row per track (strategy), one
+*thread* row per lifecycle category, instant events for point records and
+complete (``X``) events for records carrying a duration (fetch completions,
+blocking stalls).  Virtual microseconds map 1:1 onto the format's ``ts``
+microsecond unit.
+
+.. _trace-event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.obs.trace import CATEGORIES
+
+__all__ = [
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+]
+
+_META = ("seq", "t", "cat", "name", "track", "dur")
+
+
+def write_jsonl(records: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write ``records`` as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=repr))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def chrome_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Convert trace-bus records to a Chrome trace-event JSON object.
+
+    Tracks become processes, categories become threads; the mapping is
+    emitted as metadata events so the viewer shows readable row names.
+    """
+    events: list[dict[str, Any]] = []
+    pids: dict[str, int] = {}
+    tids: dict[str, int] = {category: index + 1 for index, category in enumerate(CATEGORIES)}
+
+    for record in records:
+        track = str(record.get("track", "run"))
+        pid = pids.get(track)
+        if pid is None:
+            pid = pids[track] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": track},
+                }
+            )
+            for category, tid in tids.items():
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": category},
+                    }
+                )
+        cat = str(record.get("cat", "misc"))
+        tid = tids.setdefault(cat, len(tids) + 1)
+        args = {key: _argsafe(value) for key, value in record.items() if key not in _META}
+        args["seq"] = record.get("seq", 0)
+        event: dict[str, Any] = {
+            "name": f"{cat}.{record.get('name', '?')}",
+            "cat": cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": float(record.get("t", 0.0)),
+            "args": args,
+        }
+        duration = record.get("dur")
+        if duration is not None:
+            event["ph"] = "X"
+            event["dur"] = float(duration)
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # instant scoped to its thread row
+        events.append(event)
+
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def _argsafe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_argsafe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _argsafe(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_argsafe(item) for item in value)
+    return repr(value)
+
+
+def write_chrome_trace(records: Iterable[Mapping[str, Any]], path: str) -> dict[str, Any]:
+    """Write the Chrome trace for ``records``; returns the trace object."""
+    trace = chrome_trace(records)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+def write_metrics_snapshot(snapshots: Mapping[str, Any], path: str) -> None:
+    """Persist metrics snapshots (e.g. ``{strategy: registry.snapshot()}``)."""
+    with open(path, "w") as handle:
+        json.dump(snapshots, handle, indent=2, sort_keys=True, default=repr)

@@ -1,0 +1,118 @@
+"""Decision-provenance verification: replay trace records against the model.
+
+Every PFetch selection (Eq. 7) and LzEval gate (Eq. 8) in a traced run
+records its numeric inputs alongside the decision it took.  The functions
+here *replay* those records — recomputing the decision from the recorded
+inputs with the same arithmetic the strategies use — and report any record
+whose recorded decision disagrees.  An empty problem list is machine-checked
+proof that the trace fully explains the run's fetch/postpone behaviour.
+
+Eq. 7 (PFetch selection, ``cat="prefetch"``, ``name="decision"``)::
+
+    candidate = omega * UU + (1 - omega) * FU        # Eq. 5 at omega_fetch
+    candidate += omega * ell                          # anticipated urgent use
+    fetch iff candidate > cache_min                   # Eq. 7
+
+Eq. 8 (LzEval gate, ``cat="obligation"``, ``name="eq8_gate"``)::
+
+    beneficial(m) iff delta_minus(m) > delta_plus(m)  # hidden latency wins
+    postpone iff succ = {m : beneficial(m)} is non-empty
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "EQ7_FIELDS",
+    "EQ8_FIELDS",
+    "verify_eq7_record",
+    "verify_eq8_record",
+    "replay_trace",
+]
+
+#: Numeric inputs every *gated* Eq. 7 decision must carry.
+EQ7_FIELDS = ("uu", "fu", "omega", "ell_estimate", "candidate_utility", "cache_min")
+
+#: Inputs every Eq. 8 gate record must carry.
+EQ8_FIELDS = ("ell", "branch", "deltas", "succ")
+
+_TOL = 1e-9
+
+
+def verify_eq7_record(record: Mapping[str, Any]) -> list[str]:
+    """Problems with one Eq. 7 decision record (empty list = consistent)."""
+    problems: list[str] = []
+    if not record.get("gated"):
+        # Ungated decisions (cache not full, gate disabled, breaker skip…)
+        # make no Eq. 7 comparison and carry no model inputs to replay.
+        return problems
+    missing = [field for field in EQ7_FIELDS if field not in record]
+    if missing:
+        return [f"eq7 seq={record.get('seq')}: missing fields {missing}"]
+    omega = record["omega"]
+    candidate = omega * record["uu"] + (1.0 - omega) * record["fu"]
+    candidate += omega * record["ell_estimate"]
+    if abs(candidate - record["candidate_utility"]) > _TOL * max(1.0, abs(candidate)):
+        problems.append(
+            f"eq7 seq={record.get('seq')}: candidate recomputes to {candidate!r}, "
+            f"recorded {record['candidate_utility']!r}"
+        )
+    suppressed = record["candidate_utility"] <= record["cache_min"]
+    decision = record.get("decision")
+    expected = "suppressed" if suppressed else "issued"
+    if decision != expected:
+        problems.append(
+            f"eq7 seq={record.get('seq')}: inputs imply {expected!r}, recorded {decision!r}"
+        )
+    return problems
+
+
+def verify_eq8_record(record: Mapping[str, Any]) -> list[str]:
+    """Problems with one Eq. 8 gate record (empty list = consistent)."""
+    problems: list[str] = []
+    missing = [field for field in EQ8_FIELDS if field not in record]
+    if missing:
+        return [f"eq8 seq={record.get('seq')}: missing fields {missing}"]
+    succ: set[int] = set()
+    for delta in record["deltas"]:
+        beneficial = delta["delta_minus"] > delta["delta_plus"]
+        if bool(delta.get("beneficial")) != beneficial:
+            problems.append(
+                f"eq8 seq={record.get('seq')}: state {delta.get('state')} records "
+                f"beneficial={delta.get('beneficial')} but "
+                f"delta_minus={delta['delta_minus']!r} vs delta_plus={delta['delta_plus']!r}"
+            )
+        if beneficial:
+            succ.add(delta["state"])
+    if record.get("gated", True):
+        if succ != set(record["succ"]):
+            problems.append(
+                f"eq8 seq={record.get('seq')}: deltas imply succ={sorted(succ)}, "
+                f"recorded {sorted(record['succ'])}"
+            )
+        expected = "postpone" if record["succ"] else "block"
+    else:
+        # Gate disabled: postponement is unconditional (succ is advisory).
+        expected = "postpone"
+    if record["branch"] != expected:
+        problems.append(
+            f"eq8 seq={record.get('seq')}: inputs imply branch={expected!r}, "
+            f"recorded {record['branch']!r}"
+        )
+    return problems
+
+
+def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Replay every decision record; returns counts and collected problems."""
+    checked_eq7 = 0
+    checked_eq8 = 0
+    problems: list[str] = []
+    for record in records:
+        if record.get("cat") == "prefetch" and record.get("name") == "decision":
+            checked_eq7 += 1
+            problems.extend(verify_eq7_record(record))
+        elif record.get("cat") == "obligation" and record.get("name") == "eq8_gate":
+            checked_eq8 += 1
+            problems.extend(verify_eq8_record(record))
+    return {"checked_eq7": checked_eq7, "checked_eq8": checked_eq8, "problems": problems}

@@ -1,0 +1,185 @@
+"""The metrics registry: counters, gauges, and virtual-time histograms.
+
+One :class:`MetricsRegistry` per assembled EIRES instance is the single home
+for runtime statistics.  The legacy stats façades —
+:class:`~repro.strategies.base.StrategyStats`,
+:class:`~repro.cache.stats.CacheStats`, and the
+:class:`~repro.remote.transport.Transport` counters — are *views* over this
+registry: their attribute reads and writes land on registry-owned
+:class:`Counter` objects, so a metrics snapshot and the per-component
+``as_dict()`` reports can never disagree.
+
+Metric names are dotted and namespaced by component (``fetch.*``,
+``cache.*``, ``transport.*``, ``pipeline.*``); units are virtual
+microseconds for all duration-like metrics (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from repro.metrics.latency import percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically meaningful numeric cell (int or float).
+
+    The stats façades assign as well as increment (``stats.retries = n``
+    mirrors a transport total), so the raw ``value`` stays writable.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time numeric reading (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Sampled distribution with optional virtual-time windowing.
+
+    ``window`` bounds the retained samples to the last ``window`` virtual
+    microseconds relative to the most recent observation: old samples are
+    discarded as new ones arrive, so long runs report *recent* behaviour
+    instead of an all-time average.  ``window=None`` retains everything.
+    Totals (``count``/``total``) always cover the full run regardless of the
+    window.
+    """
+
+    __slots__ = ("name", "window", "count", "total", "_samples")
+
+    def __init__(self, name: str, window: float | None = None) -> None:
+        if window is not None and window <= 0:
+            raise ValueError(f"histogram window must be positive: {window}")
+        self.name = name
+        self.window = window
+        self.count = 0
+        self.total = 0.0
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def observe(self, value: float, t: float = 0.0) -> None:
+        """Fold one sample taken at virtual time ``t``."""
+        self.count += 1
+        self.total += value
+        self._samples.append((t, value))
+        if self.window is not None:
+            horizon = t - self.window
+            samples = self._samples
+            while samples and samples[0][0] < horizon:
+                samples.popleft()
+
+    def windowed_values(self) -> list[float]:
+        """The retained (possibly windowed) sample values, in arrival order."""
+        return [value for _, value in self._samples]
+
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def percentiles(self, qs: Iterable[float] = (50, 95)) -> dict[float, float]:
+        """Percentiles over the retained window (all-zero when empty)."""
+        values = sorted(value for _, value in self._samples)
+        if not values:
+            return {q: 0.0 for q in qs}
+        return {q: percentile(values, q) for q in qs}
+
+    def snapshot(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "count": self.count,
+            "total": round(self.total, 3),
+            "mean": round(self.mean(), 3),
+        }
+        for q, value in self.percentiles((50, 95)).items():
+            data[f"p{int(q)}"] = round(value, 3)
+        if self.window is not None:
+            data["window_us"] = self.window
+            data["windowed_count"] = len(self._samples)
+        return data
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean():.2f})"
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and listed in one snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, window: float | None = None) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_fresh(name)
+            metric = self._histograms[name] = Histogram(name, window=window)
+        return metric
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise ValueError(f"metric {name!r} already registered with a different type")
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as one flat, JSON-ready dict (sorted by name)."""
+        data: dict[str, Any] = {}
+        for name in self.names():
+            if name in self._counters:
+                value = self._counters[name].value
+                data[name] = round(value, 3) if isinstance(value, float) else value
+            elif name in self._gauges:
+                data[name] = round(self._gauges[name].value, 3)
+            else:
+                data[name] = self._histograms[name].snapshot()
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )

@@ -1,0 +1,64 @@
+"""Chrome-trace validation for the CI observability smoke step.
+
+``python -m repro.obs.validate TRACE.json`` checks that the file parses as
+trace-event JSON and contains at least one record for every lifecycle
+category of the EIRES pipeline (see :data:`repro.obs.trace.CATEGORIES`),
+exiting non-zero with a readable report otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.trace import CATEGORIES
+
+__all__ = ["validate_chrome_trace", "main"]
+
+
+def validate_chrome_trace(path: str, require_categories: bool = True) -> dict[str, int]:
+    """Validate a Chrome trace file; returns per-category record counts.
+
+    Raises ``ValueError`` when the file is not valid trace-event JSON or
+    (with ``require_categories``) when any lifecycle category is absent.
+    """
+    with open(path) as handle:
+        try:
+            trace = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}") from error
+    events = trace.get("traceEvents") if isinstance(trace, dict) else None
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: missing 'traceEvents' list")
+    counts = {category: 0 for category in CATEGORIES}
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"{path}: malformed trace event: {event!r}")
+        category = event.get("cat")
+        if category in counts and event["ph"] != "M":
+            counts[category] += 1
+    if require_categories:
+        empty = sorted(category for category, count in counts.items() if count == 0)
+        if empty:
+            raise ValueError(f"{path}: no records for lifecycle categories: {', '.join(empty)}")
+    return counts
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        counts = validate_chrome_trace(args[0])
+    except (OSError, ValueError) as error:
+        print(f"trace validation FAILED: {error}", file=sys.stderr)
+        return 1
+    total = sum(counts.values())
+    summary = ", ".join(f"{category}={count}" for category, count in sorted(counts.items()))
+    print(f"trace OK: {total} records ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs.trace import CAT_FETCH, NULL_TRACER, Tracer
 from repro.remote.element import DataKey
 
 __all__ = [
@@ -130,7 +131,7 @@ class CircuitBreaker:
     """
 
     __slots__ = ("window", "failure_threshold", "min_samples", "cooldown",
-                 "_state", "_opened_at", "opens")
+                 "_state", "_opened_at", "opens", "tracer", "source")
 
     def __init__(
         self,
@@ -138,6 +139,8 @@ class CircuitBreaker:
         failure_threshold: float = 0.5,
         min_samples: int = 8,
         cooldown: float = 2_000.0,
+        tracer: Tracer = NULL_TRACER,
+        source: str = "",
     ) -> None:
         if not 0.0 < failure_threshold <= 1.0:
             raise ValueError(f"failure threshold must be in (0, 1]: {failure_threshold}")
@@ -152,6 +155,14 @@ class CircuitBreaker:
         self._state = BREAKER_CLOSED
         self._opened_at = 0.0
         self.opens = 0
+        self.tracer = tracer
+        self.source = source
+
+    def _trace_transition(self, to_state: str, now: float) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CAT_FETCH, "breaker_transition", now, source=self.source, to=to_state
+            )
 
     def state(self, now: float) -> str:
         if self._state == BREAKER_OPEN and now - self._opened_at >= self.cooldown:
@@ -163,8 +174,9 @@ class CircuitBreaker:
         state = self.state(now)
         if state == BREAKER_OPEN:
             return False
-        if state == BREAKER_HALF_OPEN:
+        if state == BREAKER_HALF_OPEN and self._state != BREAKER_HALF_OPEN:
             self._state = BREAKER_HALF_OPEN
+            self._trace_transition(BREAKER_HALF_OPEN, now)
         return True
 
     def record(self, ok: bool, now: float) -> None:
@@ -175,6 +187,7 @@ class CircuitBreaker:
                 self._state = BREAKER_CLOSED
                 self.window = FailureWindow(self.window.size)
                 self.window.record(ok)
+                self._trace_transition(BREAKER_CLOSED, now)
             else:
                 self._open(now)
             return
@@ -190,6 +203,7 @@ class CircuitBreaker:
         self._state = BREAKER_OPEN
         self._opened_at = now
         self.opens += 1
+        self._trace_transition(BREAKER_OPEN, now)
 
     def __repr__(self) -> str:
         return f"CircuitBreaker({self._state}, opens={self.opens})"
@@ -198,7 +212,8 @@ class CircuitBreaker:
 class BreakerBoard:
     """One circuit breaker per remote source, created on first contact."""
 
-    __slots__ = ("window_size", "failure_threshold", "min_samples", "cooldown", "_breakers")
+    __slots__ = ("window_size", "failure_threshold", "min_samples", "cooldown",
+                 "tracer", "_breakers")
 
     def __init__(
         self,
@@ -206,18 +221,27 @@ class BreakerBoard:
         failure_threshold: float = 0.5,
         min_samples: int = 8,
         cooldown: float = 2_000.0,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.window_size = window_size
         self.failure_threshold = failure_threshold
         self.min_samples = min_samples
         self.cooldown = cooldown
+        self.tracer = tracer
         self._breakers: dict[str, CircuitBreaker] = {}
+
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach the trace bus (assembly time; reaches existing breakers)."""
+        self.tracer = tracer
+        for breaker in self._breakers.values():
+            breaker.tracer = tracer
 
     def breaker(self, source: str) -> CircuitBreaker:
         breaker = self._breakers.get(source)
         if breaker is None:
             breaker = CircuitBreaker(
-                self.window_size, self.failure_threshold, self.min_samples, self.cooldown
+                self.window_size, self.failure_threshold, self.min_samples, self.cooldown,
+                tracer=self.tracer, source=source,
             )
             self._breakers[source] = breaker
         return breaker

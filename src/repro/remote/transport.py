@@ -38,6 +38,8 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import CAT_FETCH, NULL_TRACER, Tracer, trace_key
 from repro.remote.element import DataElement, DataKey
 from repro.remote.faults import DROP, ERROR, SLOW, FaultModel
 from repro.remote.monitor import BreakerBoard, LatencyMonitor
@@ -51,7 +53,24 @@ __all__ = [
     "PerSourceLatency",
     "FetchRequest",
     "Transport",
+    "TRANSPORT_COUNTER_KEYS",
+    "TRANSPORT_FAULT_COUNTER_KEYS",
 ]
+
+# Every counter the transport maintains, in report order; the façade
+# attributes below are views over registry cells named ``transport.<key>``.
+TRANSPORT_COUNTER_KEYS = (
+    "blocking_fetches",
+    "async_fetches",
+    "coalesced",
+    "retries",
+    "failed_fetches",
+    "breaker_fastfails",
+)
+
+# The subset that stays zero on a healthy network; the fault table in
+# ``repro.metrics.reporting`` derives its transport columns from this.
+TRANSPORT_FAULT_COUNTER_KEYS = ("failed_fetches", "breaker_fastfails")
 
 
 class LatencyModel(ABC):
@@ -184,12 +203,22 @@ class Transport:
         self._retry = retry_policy
         self.breakers = breakers
         self._in_flight: dict[DataKey, FetchRequest] = {}
-        self.blocking_fetches = 0
-        self.async_fetches = 0
-        self.coalesced = 0
-        self.retries = 0
-        self.failed_fetches = 0
-        self.breaker_fastfails = 0
+        self.tracer: Tracer = NULL_TRACER
+        self._latency_hist: Histogram | None = None
+        self._bind_counters(None)
+
+    def _bind_counters(self, registry: MetricsRegistry | None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._cells = {
+            key: registry.counter(f"transport.{key}") for key in TRANSPORT_COUNTER_KEYS
+        }
+
+    def bind_observability(self, registry: MetricsRegistry | None, tracer: Tracer) -> None:
+        """Rebind the (still-zero) counters and trace bus at assembly time."""
+        if registry is not None:
+            self._bind_counters(registry)
+            self._latency_hist = registry.histogram("transport.latency_us", window=1_000_000.0)
+        self.tracer = tracer
 
     @property
     def store(self) -> RemoteStore:
@@ -273,7 +302,22 @@ class Transport:
                 request = next_request
                 self._in_flight[key] = request
         delivered.sort(key=lambda req: (req.arrives_at, req.issued_at, repr(req.key)))
+        if self.tracer.enabled:
+            for request in delivered:
+                self._trace_complete(request)
         return delivered
+
+    def _trace_complete(self, request: FetchRequest) -> None:
+        self.tracer.emit(
+            CAT_FETCH,
+            "complete",
+            request.first_issued_at,
+            dur=request.arrives_at - request.first_issued_at,
+            key=trace_key(request.key),
+            ok=request.ok,
+            error=request.error,
+            attempts=request.attempt,
+        )
 
     def pending_count(self) -> int:
         return len(self._in_flight)
@@ -308,6 +352,8 @@ class Transport:
                 break
             request = next_request
         request.final = True
+        if self.tracer.enabled:
+            self._trace_complete(request)
         return request
 
     def _reissue(self, request: FetchRequest) -> FetchRequest | None:
@@ -319,6 +365,16 @@ class Transport:
             return None
         self.retries += 1
         reissue_at = request.arrives_at + self._retry.backoff(request.attempt, self._rng)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CAT_FETCH,
+                "retry",
+                request.arrives_at,
+                key=trace_key(request.key),
+                attempt=next_attempt,
+                error=request.error,
+                reissue_at=reissue_at,
+            )
         return self._issue(
             request.key, reissue_at, attempt=next_attempt,
             first_issued_at=request.first_issued_at,
@@ -332,14 +388,21 @@ class Transport:
         first_issued_at: float | None = None,
     ) -> FetchRequest:
         first = now if first_issued_at is None else first_issued_at
+        tracer = self.tracer
         if self.breakers is not None and not self.breakers.allow(key[0], now):
             # Fail fast without a wire attempt: no latency draw, no fault
             # draw, and no window sample (the breaker re-probes by time).
             self.breaker_fastfails += 1
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_FETCH, "breaker_fastfail", now, key=trace_key(key), attempt=attempt
+                )
             return FetchRequest(
                 key, issued_at=now, arrives_at=now, element=None, ok=False,
                 error="breaker_open", attempt=attempt, first_issued_at=first, final=False,
             )
+        if tracer.enabled:
+            tracer.emit(CAT_FETCH, "issue", now, key=trace_key(key), attempt=attempt)
         latency = self._latency_model.sample(key, self._rng)
         decision = None
         if self._fault_model is not None:
@@ -353,6 +416,8 @@ class Transport:
                 attempt=attempt, first_issued_at=first, final=False,
             )
             self.monitor.record(key, latency)
+            if self._latency_hist is not None:
+                self._latency_hist.observe(latency, now)
             if self.breakers is not None:
                 self.breakers.record(key[0], True, now)
             return request
@@ -377,3 +442,18 @@ class Transport:
             f"coalesced={self.coalesced}, retries={self.retries}, "
             f"failed={self.failed_fetches}, pending={len(self._in_flight)})"
         )
+
+
+def _counter_property(key: str) -> property:
+    def _get(self: Transport):
+        return self._cells[key].value
+
+    def _set(self: Transport, value) -> None:
+        self._cells[key].value = value
+
+    return property(_get, _set)
+
+
+for _key in TRANSPORT_COUNTER_KEYS:
+    setattr(Transport, _key, _counter_property(_key))
+del _key

@@ -15,7 +15,7 @@ decision hooks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.cache.base import Cache
@@ -24,6 +24,15 @@ from repro.engine.interface import POSTPONED
 from repro.events.event import Event
 from repro.nfa.automaton import Automaton, Transition
 from repro.nfa.run import Run
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    CAT_FETCH,
+    CAT_OBLIGATION,
+    CAT_RUN,
+    NULL_TRACER,
+    Tracer,
+    trace_key,
+)
 from repro.query.errors import RemoteDataUnavailable
 from repro.query.predicates import Predicate
 from repro.remote.element import DataKey
@@ -34,7 +43,15 @@ from repro.utility.model import UtilityModel
 from repro.utility.noise import NoiseModel
 from repro.utility.rates import RateEstimator
 
-__all__ = ["RuntimeContext", "StrategyStats", "FetchStrategy", "FAIL_OPEN", "FAIL_CLOSED"]
+__all__ = [
+    "RuntimeContext",
+    "StrategyStats",
+    "FetchStrategy",
+    "FAIL_OPEN",
+    "FAIL_CLOSED",
+    "STRATEGY_COUNTER_KEYS",
+    "DEGRADATION_COUNTER_KEYS",
+]
 
 _PURPOSE_PREFETCH = "prefetch"
 _PURPOSE_LAZY = "lazy"
@@ -70,48 +87,90 @@ class RuntimeContext:
     utility_tick_interval: int = 1
     failure_mode: str = FAIL_CLOSED
     stale_serve_enabled: bool = True
+    # Observability: the shared metrics registry the stats façades bind to
+    # and the trace bus.  Both default to off/None so hand-built contexts
+    # (unit tests) behave exactly as before.
+    metrics: MetricsRegistry | None = None
+    tracer: Tracer = NULL_TRACER
 
 
-@dataclass
+# Every counter a strategy maintains, in report order.  This tuple is the
+# single source of truth: ``StrategyStats`` registers exactly these cells,
+# ``as_dict()`` reports them in this order, and the fault table derives its
+# columns from the degradation subset below — a renamed counter breaks a
+# test instead of silently dropping out of a report.
+STRATEGY_COUNTER_KEYS = (
+    "blocking_stalls",
+    "total_stall_time",
+    "prefetches_issued",
+    "prefetches_suppressed",
+    "lazy_postponements",
+    "forced_blocks",
+    "history_hits",
+    "history_misses",
+    "fetch_failures",
+    "retries",
+    "breaker_opens",
+    "breaker_skips",
+    "obligations_expired",
+    "stale_serves",
+)
+
+# The counters that stay zero on a healthy network; faulted runs surface
+# them in ``repro.metrics.reporting``'s fault table.
+DEGRADATION_COUNTER_KEYS = (
+    "fetch_failures",
+    "retries",
+    "breaker_opens",
+    "breaker_skips",
+    "obligations_expired",
+    "stale_serves",
+)
+
+
 class StrategyStats:
-    """Counters describing one strategy's behaviour during a run."""
+    """Counters describing one strategy's behaviour during a run.
 
-    blocking_stalls: int = 0
-    total_stall_time: float = 0.0
-    prefetches_issued: int = 0
-    prefetches_suppressed: int = 0
-    lazy_postponements: int = 0
-    forced_blocks: int = 0
-    history_hits: int = 0
-    history_misses: int = 0
-    # Fault-tolerance counters (all zero on a healthy network).
-    fetch_failures: int = 0
-    retries: int = 0
-    breaker_opens: int = 0
-    breaker_skips: int = 0
-    obligations_expired: int = 0
-    stale_serves: int = 0
-    extra: dict[str, Any] = field(default_factory=dict)
+    A view over a :class:`~repro.obs.registry.MetricsRegistry`: each counter
+    attribute reads and writes a registry cell under ``fetch.<name>``, so a
+    metrics snapshot and this façade can never disagree.  Standalone
+    construction (unit tests, unattached strategies) binds a private
+    registry.
+    """
+
+    __slots__ = ("_cells", "extra")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._cells = {key: registry.counter(f"fetch.{key}") for key in STRATEGY_COUNTER_KEYS}
+        # Stall time accumulates float microseconds; keep the cell float so
+        # reports render `0.0` (not `0`) on stall-free runs.
+        cell = self._cells["total_stall_time"]
+        cell.value = float(cell.value)
+        self.extra: dict[str, Any] = {}
 
     def as_dict(self) -> dict[str, Any]:
-        data = {
-            "blocking_stalls": self.blocking_stalls,
-            "total_stall_time": round(self.total_stall_time, 3),
-            "prefetches_issued": self.prefetches_issued,
-            "prefetches_suppressed": self.prefetches_suppressed,
-            "lazy_postponements": self.lazy_postponements,
-            "forced_blocks": self.forced_blocks,
-            "history_hits": self.history_hits,
-            "history_misses": self.history_misses,
-            "fetch_failures": self.fetch_failures,
-            "retries": self.retries,
-            "breaker_opens": self.breaker_opens,
-            "breaker_skips": self.breaker_skips,
-            "obligations_expired": self.obligations_expired,
-            "stale_serves": self.stale_serves,
-        }
+        data: dict[str, Any] = {}
+        for key in STRATEGY_COUNTER_KEYS:
+            value = self._cells[key].value
+            data[key] = round(value, 3) if key == "total_stall_time" else value
         data.update(self.extra)
         return data
+
+
+def _counter_property(key: str) -> property:
+    def _get(self: StrategyStats):
+        return self._cells[key].value
+
+    def _set(self: StrategyStats, value) -> None:
+        self._cells[key].value = value
+
+    return property(_get, _set)
+
+
+for _key in STRATEGY_COUNTER_KEYS:
+    setattr(StrategyStats, _key, _counter_property(_key))
+del _key
 
 
 class FetchStrategy:
@@ -144,6 +203,10 @@ class FetchStrategy:
     # -- wiring ----------------------------------------------------------------
     def attach(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
+        if ctx.metrics is not None:
+            # Rebind the (still-empty) stats façade onto the framework's
+            # shared registry so snapshots include the fetch.* counters.
+            self.stats = StrategyStats(ctx.metrics)
 
     @property
     def total_stall_time(self) -> float:
@@ -186,6 +249,16 @@ class FetchStrategy:
         if missing:
             if self.decide_postpone(transition, predicate, run, env, missing):
                 self.stats.lazy_postponements += 1
+                tracer = self.ctx.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        CAT_OBLIGATION,
+                        "postpone",
+                        self.ctx.clock.now,
+                        transition=transition.index,
+                        run_id=tracer.run_ref(run.run_id) if run is not None else None,
+                        keys=[trace_key(key) for key in missing],
+                    )
                 return POSTPONED
             values.update(self._block_for(missing))
         return _evaluate_with(predicate, env, values, self.ctx.failure_mode)
@@ -201,7 +274,17 @@ class FetchStrategy:
             if not blocking:
                 return POSTPONED
             values.update(self._block_for(missing))
-        return _evaluate_with(predicate, env, values, self.ctx.failure_mode)
+        outcome = _evaluate_with(predicate, env, values, self.ctx.failure_mode)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.emit(
+                CAT_OBLIGATION,
+                "resolve",
+                self.ctx.clock.now,
+                outcome=bool(outcome),
+                blocking=blocking,
+            )
+        return outcome
 
     def prepare_blocking(self, run: Run) -> None:
         """Fetch everything a run's obligations still miss, in one round.
@@ -247,13 +330,43 @@ class FetchStrategy:
 
     def on_run_created(self, run: Run) -> None:
         self.ctx.utility.on_run_created(run)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.emit(
+                CAT_RUN,
+                "create",
+                self.ctx.clock.now,
+                run_id=tracer.run_ref(run.run_id),
+                state=run.state.index,
+                bound=len(run.env),
+                obligations=len(run.obligations),
+            )
 
     def on_run_dropped(self, run: Run, reason: str) -> None:
         # Obligations that ride a run out of its window (or to end of
         # stream) expire deterministically with the run: the data they
         # waited for never arrived in time to matter.
+        tracer = self.ctx.tracer
         if run.obligations and reason in ("expired", "flushed"):
             self.stats.obligations_expired += len(run.obligations)
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_OBLIGATION,
+                    "expire",
+                    self.ctx.clock.now,
+                    run_id=tracer.run_ref(run.run_id),
+                    count=len(run.obligations),
+                    reason=reason,
+                )
+        if tracer.enabled:
+            tracer.emit(
+                CAT_RUN,
+                "drop",
+                self.ctx.clock.now,
+                run_id=tracer.run_ref(run.run_id),
+                state=run.state.index,
+                reason=reason,
+            )
         self.ctx.utility.on_run_dropped(run)
 
     def observe_guard(self, transition: Transition, passed: bool) -> None:
@@ -335,6 +448,15 @@ class FetchStrategy:
                 latest = request.arrives_at
         self.stats.blocking_stalls += 1
         self.stats.total_stall_time += latest - now
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.emit(
+                CAT_FETCH,
+                "stall",
+                now,
+                dur=latest - now,
+                keys=[trace_key(key) for key in keys],
+            )
         ctx.clock.advance_to(latest)
         values: dict[DataKey, Any] = {}
         cache = ctx.cache

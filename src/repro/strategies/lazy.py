@@ -35,6 +35,7 @@ from typing import Mapping
 from repro.events.event import Event
 from repro.nfa.automaton import State, Transition
 from repro.nfa.run import Run
+from repro.obs.trace import CAT_OBLIGATION, trace_key
 from repro.query.predicates import Predicate
 from repro.remote.element import DataKey
 from repro.strategies.base import FetchStrategy
@@ -48,8 +49,11 @@ class LazyBenefitModel:
     def __init__(self, strategy: "LzEvalStrategy", recompute_interval: float = 500.0) -> None:
         self._strategy = strategy
         self._recompute_interval = recompute_interval
-        # (transition index, latency bucket) -> (computed_at, succ state indices)
-        self._cache: dict[tuple[int, int], tuple[float, frozenset[int]]] = {}
+        # (transition index, latency bucket)
+        #   -> (computed_at, succ state indices, per-class Eq. 8 deltas)
+        self._cache: dict[
+            tuple[int, int], tuple[float, frozenset[int], tuple[dict[str, object], ...]]
+        ] = {}
 
     @staticmethod
     def latency_bucket(ell: float) -> int:
@@ -60,18 +64,27 @@ class LazyBenefitModel:
 
     def succ_set(self, transition: Transition, ell: float) -> frozenset[int]:
         """Classes up to which postponing ``transition``'s remote predicates pays."""
+        return self.lookup(transition, ell)[0]
+
+    def lookup(
+        self, transition: Transition, ell: float
+    ) -> tuple[frozenset[int], tuple[dict[str, object], ...]]:
+        """``succ`` plus the per-class ``delta-``/``delta+`` values behind it."""
         now = self._strategy.ctx.clock.now
         bucket = self.latency_bucket(ell)
         cached = self._cache.get((transition.index, bucket))
         if cached is not None and now - cached[0] < self._recompute_interval:
-            return cached[1]
-        succ = self._compute(transition, ell)
-        self._cache[(transition.index, bucket)] = (now, succ)
-        return succ
+            return cached[1], cached[2]
+        succ, deltas = self._compute(transition, ell)
+        self._cache[(transition.index, bucket)] = (now, succ, deltas)
+        return succ, deltas
 
-    def _compute(self, transition: Transition, ell: float) -> frozenset[int]:
+    def _compute(
+        self, transition: Transition, ell: float
+    ) -> tuple[frozenset[int], tuple[dict[str, object], ...]]:
         ctx = self._strategy.ctx
         beneficial: set[int] = set()
+        deltas: list[dict[str, object]] = []
         # Walk every path of descendant classes below the postponing
         # transition's target; `chain` is [r1=target, r2, ..., m].
         stack: list[list[State]] = [[transition.target]]
@@ -98,11 +111,22 @@ class LazyBenefitModel:
             # length one (m == target) never qualifies.  In particular, a
             # remote predicate on a transition into a leaf final state has an
             # empty succ set and is evaluated by blocking (Alg. 4 line 15).
-            if len(chain) > 1 and hidden > overhead:
-                beneficial.add(m.index)
+            if len(chain) > 1:
+                wins = hidden > overhead
+                deltas.append(
+                    {
+                        "state": m.index,
+                        "delta_minus": hidden,
+                        "delta_plus": overhead,
+                        "beneficial": wins,
+                    }
+                )
+                if wins:
+                    beneficial.add(m.index)
             for next_transition in m.transitions:
                 stack.append(chain + [next_transition.target])
-        return frozenset(beneficial)
+        deltas.sort(key=lambda entry: entry["state"])
+        return frozenset(beneficial), tuple(deltas)
 
     @staticmethod
     def _entry_transition(state: State) -> Transition:
@@ -138,11 +162,53 @@ class LzEvalStrategy(FetchStrategy):
         # (Eq. 8 with ell lifted to the fault-adjusted estimate).  On a
         # healthy source this is exactly the monitored estimate.
         ell = max(ctx.transport.effective_estimate(key) for key in missing)
+        tracer = ctx.tracer
         if ctx.lazy_gate_enabled:
-            succ = self.benefit.succ_set(transition, ell)
+            succ, deltas = self.benefit.lookup(transition, ell)
             if not succ:
                 self.stats.forced_blocks += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        CAT_OBLIGATION,
+                        "eq8_gate",
+                        ctx.clock.now,
+                        branch="block",
+                        gated=True,
+                        transition=transition.index,
+                        ell=ell,
+                        succ=sorted(succ),
+                        deltas=list(deltas),
+                        keys=[trace_key(key) for key in missing],
+                    )
                 return False
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_OBLIGATION,
+                    "eq8_gate",
+                    ctx.clock.now,
+                    branch="postpone",
+                    gated=True,
+                    transition=transition.index,
+                    ell=ell,
+                    succ=sorted(succ),
+                    deltas=list(deltas),
+                    keys=[trace_key(key) for key in missing],
+                )
+        elif tracer.enabled:
+            # Gate disabled: postponement is unconditional; record it so the
+            # trace still explains why no block happened here.
+            tracer.emit(
+                CAT_OBLIGATION,
+                "eq8_gate",
+                ctx.clock.now,
+                branch="postpone",
+                gated=False,
+                transition=transition.index,
+                ell=ell,
+                succ=[],
+                deltas=[],
+                keys=[trace_key(key) for key in missing],
+            )
         # Postpone: fetch now (non-blocking) so the data travels while the
         # run develops; its use is certain, so it lands in cache tier T1.
         self._fetch_async_lazy(missing)

@@ -31,6 +31,7 @@ from repro.events.event import Event
 from repro.nfa.automaton import RemoteSite, Transition
 from repro.nfa.run import Run
 from repro.query.predicates import Predicate
+from repro.obs.trace import CAT_PREFETCH, trace_key
 from repro.remote.element import DataKey
 from repro.strategies.base import FetchStrategy
 
@@ -178,22 +179,96 @@ class PFetchStrategy(FetchStrategy):
         if ctx.noise.active and ctx.noise.flip(("prefetch", site.site_id, key), now):
             # A phantom partial match was expected: fetch a useless element.
             key = ctx.noise.decoy_key(key)
+        tracer = ctx.tracer
         if self._available(key) or ctx.transport.in_flight(key) is not None:
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_PREFETCH,
+                    "decision",
+                    now,
+                    decision="skip_local",
+                    gated=False,
+                    site=site.site_id,
+                    key=trace_key(key),
+                )
             return
         if not ctx.transport.source_available(key[0], now):
             # Speculative traffic to a source with an open breaker is pure
             # waste; a later urgent need will probe it via the blocking path.
             self.stats.breaker_skips += 1
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_PREFETCH,
+                    "decision",
+                    now,
+                    decision="breaker_skip",
+                    gated=False,
+                    site=site.site_id,
+                    key=trace_key(key),
+                )
             return
         cache = ctx.cache
         if ctx.prefetch_gate_enabled and cache is not None and cache.used >= cache.capacity:
             # Eq. 7: only displace cached data for higher-utility elements.
             # The candidate's own utility includes the anticipated urgent
             # need of the triggering partial match (one latency-weighted use).
-            candidate = ctx.utility.value(key, ctx.omega_fetch)
-            candidate += ctx.omega_fetch * ctx.transport.monitor.estimate(key)
-            if candidate <= cache.min_utility():
+            # The decomposition below replicates ``ctx.utility.value`` term by
+            # term (same call order, same float ops) so the trace record can
+            # carry the Eq. 5/7 inputs without perturbing the computation.
+            omega = ctx.omega_fetch
+            uu = ctx.utility.urgent_utility(key)
+            fu = ctx.utility.future_utility(key)
+            candidate = omega * uu + (1.0 - omega) * fu
+            ell_estimate = ctx.transport.monitor.estimate(key)
+            candidate += omega * ell_estimate
+            cache_min = cache.min_utility()
+            if candidate <= cache_min:
                 self.stats.prefetches_suppressed += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        CAT_PREFETCH,
+                        "decision",
+                        now,
+                        decision="suppressed",
+                        gated=True,
+                        site=site.site_id,
+                        key=trace_key(key),
+                        uu=uu,
+                        fu=fu,
+                        omega=omega,
+                        ell_estimate=ell_estimate,
+                        candidate_utility=candidate,
+                        cache_min=cache_min,
+                    )
                 return
+            self.stats.prefetches_issued += 1
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_PREFETCH,
+                    "decision",
+                    now,
+                    decision="issued",
+                    gated=True,
+                    site=site.site_id,
+                    key=trace_key(key),
+                    uu=uu,
+                    fu=fu,
+                    omega=omega,
+                    ell_estimate=ell_estimate,
+                    candidate_utility=candidate,
+                    cache_min=cache_min,
+                )
+            self._fetch_async_prefetch(key)
+            return
         self.stats.prefetches_issued += 1
+        if tracer.enabled:
+            tracer.emit(
+                CAT_PREFETCH,
+                "decision",
+                now,
+                decision="issued",
+                gated=False,
+                site=site.site_id,
+                key=trace_key(key),
+            )
         self._fetch_async_prefetch(key)

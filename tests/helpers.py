@@ -55,7 +55,7 @@ def random_stream(n_events: int, seed: int, types="ABC", id_domain=3, v_domain=1
 
 
 def run_eires(query, store, stream, strategy="Hybrid", policy="greedy",
-              latency: LatencyModel | None = None, **config_kwargs):
+              latency: LatencyModel | None = None, tracer=None, **config_kwargs):
     config = EiresConfig(policy=policy, cache_capacity=config_kwargs.pop("cache_capacity", 100),
                          **config_kwargs)
     eires = EIRES(
@@ -64,5 +64,6 @@ def run_eires(query, store, stream, strategy="Hybrid", policy="greedy",
         latency if latency is not None else FixedLatency(50.0),
         strategy=strategy,
         config=config,
+        tracer=tracer,
     )
     return eires.run(stream)

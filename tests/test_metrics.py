@@ -75,6 +75,46 @@ class TestLatencyCollector:
             LatencyCollector(smoothing_window=0)
 
 
+class TestLatencyEdgeCases:
+    def test_extreme_percentiles_equal_min_max(self):
+        collector = LatencyCollector()
+        collector.record_all([9.0, 3.0, 7.0, 1.0])
+        summary = collector.percentiles((0, 100))
+        assert summary[0] == 1.0
+        assert summary[100] == 9.0
+
+    def test_extreme_percentiles_single_sample(self):
+        collector = LatencyCollector()
+        collector.record(42.0)
+        assert collector.percentiles((0, 100)) == {0: 42.0, 100: 42.0}
+
+    def test_interpolation_exact_between_equal_neighbours(self):
+        # lo*(1-f) + hi*f rounds to lo + 1ulp even when lo == hi, which broke
+        # monotonicity in q (hypothesis-found: q=7.375 beat q=57.375 here).
+        values = [59.0, 59.0, 59.0, 60.0]
+        assert percentile(values, 7.375) == 59.0
+        assert percentile(values, 57.375) >= percentile(values, 7.375)
+
+    def test_smoothing_window_larger_than_sample_count(self):
+        # With w > n the window never slides: sample i is averaged over all
+        # i+1 samples seen so far (a pure expanding mean).
+        collector = LatencyCollector(smoothing_window=100)
+        collector.record_all([10.0, 20.0, 30.0])
+        smoothed = sorted(collector._effective_samples())
+        assert smoothed == pytest.approx([10.0, 15.0, 20.0])
+
+    def test_smoothing_single_sample_passthrough(self):
+        collector = LatencyCollector(smoothing_window=50)
+        collector.record(8.0)
+        assert collector.percentiles((50,))[50] == 8.0
+
+    def test_empty_collector_any_percentile_set(self):
+        collector = LatencyCollector(smoothing_window=10)
+        assert collector.percentiles((0, 50, 100)) == {0: 0.0, 50: 0.0, 100: 0.0}
+        assert collector.samples == []
+        assert collector.median() == 0.0
+
+
 class TestThroughputMeter:
     def test_needs_two_events(self):
         meter = ThroughputMeter()
@@ -89,6 +129,23 @@ class TestThroughputMeter:
         assert meter.events_per_second() == pytest.approx(100_000.0)
         assert meter.events == 11
         assert meter.elapsed_us == 100.0
+
+    def test_simultaneous_events_report_zero(self):
+        # All events at the same virtual instant: elapsed is 0, and the
+        # meter must report 0 instead of dividing by zero.
+        meter = ThroughputMeter()
+        meter.record_event(5.0)
+        meter.record_event(5.0)
+        meter.record_event(5.0)
+        assert meter.elapsed_us == 0.0
+        assert meter.events_per_second() == 0.0
+
+    def test_empty_meter_snapshot(self):
+        meter = ThroughputMeter()
+        assert meter.events == 0
+        assert meter.elapsed_us == 0.0
+        assert meter.events_per_second() == 0.0
+        assert "0 events" in repr(meter)
 
 
 class TestReporting:
