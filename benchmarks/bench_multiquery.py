@@ -62,7 +62,8 @@ def run_comparison() -> list[dict]:
                       config=EiresConfig(cache_capacity=CAPACITY // 2))
         result = eires.run(stream)
         isolated_fetches += (
-            eires.transport.blocking_fetches + eires.transport.async_fetches
+            result.transport_stats["blocking_fetches"]
+            + result.transport_stats["async_fetches"]
         )
         isolated_p50[query.name] = result.latency.median()
         rows.append({
@@ -77,7 +78,9 @@ def run_comparison() -> list[dict]:
         config=EiresConfig(cache_capacity=CAPACITY),
     )
     results = shared.run(stream)
-    shared_fetches = shared.transport.blocking_fetches + shared.transport.async_fetches
+    # Every result of a shared replay reports the same (shared) transport.
+    shared_stats = next(iter(results.values())).transport_stats
+    shared_fetches = shared_stats["blocking_fetches"] + shared_stats["async_fetches"]
     for name, result in results.items():
         rows.append({
             "setup": "shared",

@@ -3,9 +3,13 @@
 
 Two monitoring queries watch the same transaction stream and both consult
 the same remote per-customer limit table. Run in isolation, each pays its
-own fetches; run through :class:`repro.core.multi.MultiQueryEIRES`, elements
-fetched for one query serve the other, and the cache retains what the
+own fetches; run through :class:`repro.MultiQueryEIRES`, elements fetched
+for one query serve the other, and the cache retains what the
 priority-weighted utility across *both* queries says is most valuable.
+
+Both deployments are assembled by the same composition root
+(:class:`repro.runtime.RuntimeBuilder`) and driven by the same dispatch
+loop, so the comparison isolates exactly one variable: cache sharing.
 
 Run it with::
 
@@ -16,8 +20,17 @@ from __future__ import annotations
 
 import random
 
-from repro import EIRES, EiresConfig, Event, RemoteStore, Stream, UniformLatency, parse_query
-from repro.core.multi import MultiQueryEIRES, QuerySpec
+from repro import (
+    EIRES,
+    EiresConfig,
+    Event,
+    MultiQueryEIRES,
+    QuerySpec,
+    RemoteStore,
+    Stream,
+    UniformLatency,
+    parse_query,
+)
 
 OVERLIMIT = parse_query(
     """
@@ -75,7 +88,8 @@ def main() -> None:
     for query in (OVERLIMIT, ESCALATION):
         eires = EIRES(query, build_store(), latency, strategy="Hybrid", config=config)
         result = eires.run(stream)
-        fetches = eires.transport.blocking_fetches + eires.transport.async_fetches
+        stats = result.transport_stats
+        fetches = stats["blocking_fetches"] + stats["async_fetches"]
         isolated_fetches += fetches
         print(
             f"  {query.name:11s} matches={result.match_count:5d} "
@@ -90,7 +104,9 @@ def main() -> None:
         config=config,
     )
     results = runtime.run(stream)
-    shared_fetches = runtime.transport.blocking_fetches + runtime.transport.async_fetches
+    # Every per-query result of a shared replay reports the same transport.
+    shared_stats = next(iter(results.values())).transport_stats
+    shared_fetches = shared_stats["blocking_fetches"] + shared_stats["async_fetches"]
     for name, result in results.items():
         print(
             f"  {name:11s} matches={result.match_count:5d} "

@@ -24,7 +24,9 @@ See ``examples/quickstart.py`` for a runnable end-to-end script.
 
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.core.framework import EIRES
+from repro.core.multi import MultiQueryEIRES, QuerySpec
 from repro.core.pipeline import RunResult
+from repro.runtime import RuntimeBuilder
 from repro.engine.engine import GREEDY, NON_GREEDY
 from repro.events.event import Event, EventSchema
 from repro.events.stream import Stream
@@ -38,6 +40,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EIRES",
+    "MultiQueryEIRES",
+    "QuerySpec",
+    "RuntimeBuilder",
     "EiresConfig",
     "RunResult",
     "GREEDY",

@@ -1,7 +1,22 @@
-"""Framework assembly: configuration, pipeline, and the EIRES facade."""
+"""Framework assembly: configuration and the EIRES facades.
+
+The actual composition root and dispatch loop live one layer down, in
+:mod:`repro.runtime`; this package holds the configuration schema and the
+thin public facades over it.
+"""
 
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.core.framework import EIRES
+from repro.core.multi import MultiQueryEIRES, QuerySpec
 from repro.core.pipeline import Pipeline, RunResult
 
-__all__ = ["EIRES", "EiresConfig", "Pipeline", "RunResult", "CACHE_LRU", "CACHE_COST"]
+__all__ = [
+    "EIRES",
+    "MultiQueryEIRES",
+    "QuerySpec",
+    "EiresConfig",
+    "Pipeline",
+    "RunResult",
+    "CACHE_LRU",
+    "CACHE_COST",
+]

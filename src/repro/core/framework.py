@@ -1,8 +1,9 @@
-"""The EIRES facade: assemble all components and evaluate queries.
+"""The EIRES facade: a single query on the unified runtime layer.
 
-:class:`EIRES` wires together the components of Fig. 4 — the CEP engine, the
-cache, the utility model, and the remote-data fetching strategy — for one
-query over one remote store.  Typical use::
+:class:`EIRES` is a thin shell over :class:`repro.runtime.RuntimeBuilder` —
+the same composition root that assembles multi-query deployments — exposing
+the components of Fig. 4 as plain attributes for one query over one remote
+store.  Typical use::
 
     from repro import EIRES, EiresConfig, parse_query
     from repro.remote import RemoteStore, UniformLatency
@@ -20,32 +21,15 @@ query over one remote store.  Typical use::
 
 from __future__ import annotations
 
-from repro.cache.base import Cache
-from repro.cache.cost_based import CostBasedCache
-from repro.cache.history import HitHistory
-from repro.cache.lru import LRUCache
-from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
-from repro.core.pipeline import Pipeline, RunResult
-from repro.engine.engine import Engine
+from repro.core.config import EiresConfig
+from repro.core.pipeline import RunResult
 from repro.events.stream import Stream
-from repro.nfa.automaton import Automaton
-from repro.nfa.compiler import compile_query
-from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import Tracer
 from repro.query.ast import Query
-from repro.remote.faults import make_fault_model
-from repro.remote.monitor import BreakerBoard, LatencyMonitor
-from repro.remote.retry import RetryPolicy
 from repro.remote.store import RemoteStore
-from repro.remote.transport import LatencyModel, Transport
-from repro.sim.clock import VirtualClock
-from repro.sim.rng import make_rng, spawn
-from repro.sim.scheduler import FutureScheduler
-from repro.strategies import make_strategy
-from repro.strategies.base import FetchStrategy, RuntimeContext
-from repro.utility.model import UtilityModel
-from repro.utility.noise import NoiseModel
-from repro.utility.rates import RateEstimator
+from repro.remote.transport import LatencyModel
+from repro.runtime.builder import RuntimeBuilder
+from repro.strategies.base import FetchStrategy
 
 __all__ = ["EIRES"]
 
@@ -63,126 +47,36 @@ class EIRES:
         backend: str = "automaton",
         tracer: Tracer | None = None,
     ) -> None:
-        self.config = config if config is not None else EiresConfig()
+        self.runtime = (
+            RuntimeBuilder(store, latency_model, config=config, tracer=tracer)
+            .add_query(query, strategy=strategy, backend=backend)
+            .build()
+        )
+        session = self.runtime.sessions[0]
+        ctx = session.strategy.ctx
+        # The assembled components, exposed flat for inspection and tests.
+        self.config = self.runtime.config
         self.query = query
-        self.automaton: Automaton = compile_query(query)
-        self.clock = VirtualClock()
-        self.metrics = MetricsRegistry()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        rng = make_rng(self.config.seed)
-        self.monitor = LatencyMonitor()
-        # The fault rng is a *separate* stream spawned after the transport's:
-        # with fault_profile="none" no fault draws happen at all, so latency
-        # samples are byte-identical to a build without the fault machinery.
-        fault_model = make_fault_model(self.config.fault_profile)
-        retry_policy = RetryPolicy(
-            max_attempts=self.config.retry_max_attempts,
-            backoff_base=self.config.retry_backoff_base,
-            backoff_factor=self.config.retry_backoff_factor,
-            jitter=self.config.retry_jitter,
-            attempt_timeout=self.config.retry_attempt_timeout,
-            deadline=self.config.retry_deadline,
-        )
-        breakers = (
-            BreakerBoard(
-                window_size=self.config.breaker_window,
-                failure_threshold=self.config.breaker_failure_threshold,
-                min_samples=self.config.breaker_min_samples,
-                cooldown=self.config.breaker_cooldown,
-                tracer=self.tracer,
-            )
-            if self.config.breaker_enabled
-            else None
-        )
-        self.transport = Transport(
-            store,
-            latency_model,
-            spawn(rng, "transport"),
-            self.monitor,
-            fault_model=fault_model,
-            fault_rng=spawn(rng, "faults"),
-            retry_policy=retry_policy,
-            breakers=breakers,
-        )
-        self.strategy = make_strategy(strategy) if isinstance(strategy, str) else strategy
-        if self.tracer.enabled and not self.tracer.track:
-            # Default the trace track to the strategy so multi-strategy
-            # comparisons land on separate rows in the Chrome viewer.
-            self.tracer.track = self.strategy.name
-        self.transport.bind_observability(self.metrics, self.tracer)
-        self.cache = self._build_cache()
-        if self.cache is not None:
-            self.cache.bind_observability(self.metrics, self.tracer)
-        self.noise = NoiseModel(self.config.noise_ratio, seed=self.config.seed)
-        self.utility = UtilityModel(self.automaton, store, self.monitor, noise=self.noise)
-        self.rates = RateEstimator()
-        self.scheduler = FutureScheduler()
-        self.history = HitHistory(
-            miss_threshold=self.config.history_miss_threshold,
-            reset_after=self.config.history_reset_after,
-        )
-        self.strategy.attach(
-            RuntimeContext(
-                automaton=self.automaton,
-                clock=self.clock,
-                transport=self.transport,
-                cache=self.cache,
-                utility=self.utility,
-                rates=self.rates,
-                scheduler=self.scheduler,
-                history=self.history,
-                noise=self.noise,
-                omega_fetch=self.config.omega_fetch,
-                ell_pm=self.config.cost_model.per_guard_cost,
-                lookahead_enabled=self.config.lookahead_enabled,
-                prefetch_gate_enabled=self.config.prefetch_gate_enabled,
-                lazy_gate_enabled=self.config.lazy_gate_enabled,
-                utility_tick_interval=self.config.utility_tick_interval,
-                failure_mode=self.config.failure_mode,
-                stale_serve_enabled=self.config.stale_serve_enabled,
-                metrics=self.metrics,
-                tracer=self.tracer,
-            )
-        )
-        if backend == "automaton":
-            self.engine = Engine(
-                self.automaton,
-                self.clock,
-                cost_model=self.config.cost_model,
-                policy=self.config.policy,
-                max_partial_matches=self.config.max_partial_matches,
-            )
-        elif backend == "tree":
-            # The §9 tree-based execution model; linear SEQ + greedy only.
-            from repro.engine.tree import TreeEngine
-
-            if self.config.policy != "greedy":
-                raise ValueError("the tree backend implements greedy selection only")
-            self.engine = TreeEngine(
-                self.automaton, self.clock, cost_model=self.config.cost_model
-            )
-        else:
-            raise ValueError(f"unknown backend {backend!r}; use 'automaton' or 'tree'")
+        self.automaton = session.automaton
+        self.clock = self.runtime.clock
+        self.metrics = self.runtime.metrics
+        self.tracer = self.runtime.tracer
+        self.monitor = self.runtime.monitor
+        self.transport = self.runtime.transport
+        self.cache = ctx.cache
+        self.noise = self.runtime.noise
+        self.utility = session.utility
+        self.rates = session.rates
+        self.scheduler = ctx.scheduler
+        self.history = ctx.history
+        self.strategy = session.strategy
+        self.engine = session.engine
         self.backend = backend
-        self.pipeline = Pipeline(self.engine, self.strategy)
-
-    def _build_cache(self) -> Cache | None:
-        if not self.strategy.uses_cache:
-            return None
-        if self.config.cache_policy == CACHE_LRU:
-            return LRUCache(self.config.cache_capacity)
-        if self.config.cache_policy == CACHE_COST:
-            # Bound to the utility model lazily: the model is built right
-            # after the cache, so close over the attribute lookup.
-            return CostBasedCache(
-                self.config.cache_capacity,
-                utility_fn=lambda key: self.utility.value(key, self.config.omega_cache),
-            )
-        raise ValueError(f"unknown cache policy {self.config.cache_policy!r}")
 
     def run(self, stream: Stream, smoothing_window: int = 1) -> RunResult:
         """Evaluate the query over ``stream`` and return all measurements."""
-        return self.pipeline.run(stream, smoothing_window=smoothing_window)
+        results = self.runtime.run(stream, smoothing_window=smoothing_window)
+        return results[self.query.name]
 
     def __repr__(self) -> str:
         return (

@@ -8,80 +8,33 @@ among queries is thereby captured directly in our cost model. If queries are
 assigned priorities, these need to be used as weights in the utility
 definition in Eq. 3."*
 
-:class:`MultiQueryEIRES` realises exactly that: each query gets its own
-engine, fetch strategy, utility model, and rate estimators, while the
-virtual clock, the transport (and its latency monitor), and the cache are
-shared.  The cache's utility function sums the per-query utilities weighted
-by the queries' priorities, so an element needed by several queries — or by
-one high-priority query — is retained over single-use data.
-
-Events are processed by every engine in priority order; the shared clock
-makes cross-query interference (one query's stall delaying another's
-detection) directly observable, just like in a real shared deployment.
+:class:`MultiQueryEIRES` realises exactly that, as a thin facade over the
+unified runtime layer: :class:`~repro.runtime.builder.RuntimeBuilder`
+assembles one substrate (virtual clock, transport with fault injection and
+breakers, shared cache, tracer, metrics registry) and one
+:class:`~repro.runtime.session.QuerySession` per query, and
+:func:`~repro.runtime.dispatch.dispatch` drives every engine in priority
+order — the same composition root and the same loop as the single-query
+:class:`~repro.core.framework.EIRES` facade.  The shared cache's utility
+function sums the per-query utilities weighted by the queries' priorities,
+so an element needed by several queries — or by one high-priority query —
+is retained over single-use data.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.cache.base import Cache
-from repro.cache.cost_based import CostBasedCache
-from repro.cache.history import HitHistory
-from repro.cache.lru import LRUCache
-from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
+from repro.core.config import EiresConfig
 from repro.core.pipeline import RunResult
-from repro.engine.engine import Engine
-from repro.engine.interface import MatchRecord
 from repro.events.stream import Stream
-from repro.metrics.latency import LatencyCollector
-from repro.metrics.throughput import ThroughputMeter
-from repro.nfa.compiler import compile_query
-from repro.query.ast import Query
-from repro.remote.monitor import LatencyMonitor
+from repro.obs.trace import Tracer
 from repro.remote.store import RemoteStore
-from repro.remote.transport import LatencyModel, Transport
-from repro.sim.clock import VirtualClock
-from repro.sim.rng import make_rng, spawn
-from repro.sim.scheduler import FutureScheduler
-from repro.strategies import make_strategy
-from repro.strategies.base import RuntimeContext
-from repro.utility.model import UtilityModel
-from repro.utility.noise import NoiseModel
-from repro.utility.rates import RateEstimator
+from repro.remote.transport import LatencyModel
+from repro.runtime.builder import CACHE_ALWAYS, RuntimeBuilder
+from repro.runtime.session import QuerySession, QuerySpec
 
 __all__ = ["MultiQueryEIRES", "QuerySpec"]
-
-
-class QuerySpec:
-    """One query registered with the shared runtime."""
-
-    __slots__ = ("query", "priority", "strategy_name")
-
-    def __init__(self, query: Query, priority: float = 1.0, strategy: str = "Hybrid") -> None:
-        if priority <= 0:
-            raise ValueError(f"query priority must be positive: {priority}")
-        self.query = query
-        self.priority = priority
-        self.strategy_name = strategy
-
-    def __repr__(self) -> str:
-        return f"QuerySpec({self.query.name!r}, priority={self.priority}, {self.strategy_name})"
-
-
-class _QueryRuntime:
-    """Per-query moving parts around the shared substrate."""
-
-    __slots__ = ("spec", "automaton", "engine", "strategy", "utility", "rates", "matches", "latency")
-
-    def __init__(self, spec, automaton, engine, strategy, utility, rates):
-        self.spec = spec
-        self.automaton = automaton
-        self.engine = engine
-        self.strategy = strategy
-        self.utility = utility
-        self.rates = rates
-        self.matches: list[MatchRecord] = []
-        self.latency = LatencyCollector()
 
 
 class MultiQueryEIRES:
@@ -93,109 +46,42 @@ class MultiQueryEIRES:
         store: RemoteStore,
         latency_model: LatencyModel,
         config: EiresConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
-        if not specs:
-            raise ValueError("at least one query is required")
-        names = [spec.query.name for spec in specs]
-        if len(set(names)) != len(names):
-            raise ValueError(f"query names must be unique: {names}")
-        self.config = config if config is not None else EiresConfig()
-        self.clock = VirtualClock()
-        rng = make_rng(self.config.seed)
-        self.monitor = LatencyMonitor()
-        self.transport = Transport(store, latency_model, spawn(rng, "transport"), self.monitor)
-        self.noise = NoiseModel(self.config.noise_ratio, seed=self.config.seed)
-        self._runtimes: list[_QueryRuntime] = []
-        self.cache = self._build_cache()
+        builder = RuntimeBuilder(
+            store, latency_model, config=config, tracer=tracer,
+            cache_mode=CACHE_ALWAYS,
+        )
+        for spec in specs:
+            builder.add_spec(spec)
+        self.runtime = builder.build()
+        self.config = self.runtime.config
+        self.clock = self.runtime.clock
+        self.metrics = self.runtime.metrics
+        self.tracer = self.runtime.tracer
+        self.monitor = self.runtime.monitor
+        self.transport = self.runtime.transport
+        self.cache = self.runtime.cache
+        self.noise = self.runtime.noise
 
-        for spec in sorted(specs, key=lambda s: -s.priority):
-            automaton = compile_query(spec.query)
-            utility = UtilityModel(automaton, store, self.monitor, noise=self.noise)
-            rates = RateEstimator()
-            strategy = make_strategy(spec.strategy_name)
-            strategy.attach(
-                RuntimeContext(
-                    automaton=automaton,
-                    clock=self.clock,
-                    transport=self.transport,
-                    cache=self.cache if strategy.uses_cache else None,
-                    utility=utility,
-                    rates=rates,
-                    scheduler=FutureScheduler(),  # per query: payloads are site-specific
-                    history=HitHistory(
-                        miss_threshold=self.config.history_miss_threshold,
-                        reset_after=self.config.history_reset_after,
-                    ),
-                    noise=self.noise,
-                    omega_fetch=self.config.omega_fetch,
-                    ell_pm=self.config.cost_model.per_guard_cost,
-                    lookahead_enabled=self.config.lookahead_enabled,
-                    prefetch_gate_enabled=self.config.prefetch_gate_enabled,
-                    lazy_gate_enabled=self.config.lazy_gate_enabled,
-                    utility_tick_interval=self.config.utility_tick_interval,
-                )
-            )
-            engine = Engine(
-                automaton,
-                self.clock,
-                cost_model=self.config.cost_model,
-                policy=self.config.policy,
-                max_partial_matches=self.config.max_partial_matches,
-            )
-            strategy.bind_engine(engine)
-            self._runtimes.append(_QueryRuntime(spec, automaton, engine, strategy, utility, rates))
+    @property
+    def sessions(self) -> list[QuerySession]:
+        """The per-query sessions, in descending priority order."""
+        return self.runtime.sessions
 
-    def _build_cache(self) -> Cache:
-        if self.config.cache_policy == CACHE_LRU:
-            return LRUCache(self.config.cache_capacity)
-        if self.config.cache_policy == CACHE_COST:
-            return CostBasedCache(self.config.cache_capacity, utility_fn=self._shared_utility)
-        raise ValueError(f"unknown cache policy {self.config.cache_policy!r}")
+    # Historical aliases, kept for callers of the pre-runtime-layer surface.
+    @property
+    def _runtimes(self) -> list[QuerySession]:
+        return self.runtime.sessions
 
     def _shared_utility(self, key) -> float:
         """Priority-weighted sum of the per-query utilities (Eq. 3 weights)."""
-        omega = self.config.omega_cache
-        return sum(
-            runtime.spec.priority * runtime.utility.value(key, omega)
-            for runtime in self._runtimes
-        )
+        return self.runtime.shared_utility(key)
 
-    def run(self, stream: Stream) -> dict[str, RunResult]:
+    def run(self, stream: Stream, smoothing_window: int = 1) -> dict[str, RunResult]:
         """Replay ``stream`` through every query; results keyed by query name."""
-        throughput = ThroughputMeter()
-        start = self.clock.now
-        for index, event in enumerate(stream):
-            self.clock.advance_to(event.t)
-            for runtime in self._runtimes:
-                runtime.strategy.on_event_start(event, index)
-                step_matches = runtime.engine.process_event(event, runtime.strategy)
-                runtime.strategy.on_event_end(event, step_matches)
-                for match in step_matches:
-                    runtime.latency.record(match.latency)
-                runtime.matches.extend(step_matches)
-            throughput.record_event(self.clock.now)
-
-        results: dict[str, RunResult] = {}
-        for runtime in self._runtimes:
-            runtime.strategy.end_of_stream()
-            runtime.engine.flush(runtime.strategy)
-            results[runtime.spec.query.name] = RunResult(
-                strategy_name=runtime.strategy.name,
-                matches=runtime.matches,
-                latency=runtime.latency,
-                throughput=throughput,
-                engine_stats=runtime.engine.stats.as_dict(),
-                strategy_stats=runtime.strategy.stats.as_dict(),
-                cache_stats=self.cache.stats.as_dict(),
-                transport_stats={
-                    "blocking_fetches": self.transport.blocking_fetches,
-                    "async_fetches": self.transport.async_fetches,
-                    "coalesced": self.transport.coalesced,
-                },
-                duration_us=self.clock.now - start,
-            )
-        return results
+        return self.runtime.run(stream, smoothing_window=smoothing_window)
 
     def __repr__(self) -> str:
-        names = ", ".join(runtime.spec.query.name for runtime in self._runtimes)
+        names = ", ".join(session.name for session in self.runtime.sessions)
         return f"MultiQueryEIRES([{names}], cache={self.config.cache_policy})"

@@ -1,99 +1,35 @@
-"""The event-processing pipeline: stream -> strategy -> engine -> metrics.
+"""Compatibility shim over the runtime layer's dispatch loop.
 
-This is the outer loop of Alg. 1.  For each input event the pipeline
+The event loop itself lives in :mod:`repro.runtime.dispatch` — the single
+dispatch implementation for single- and multi-query evaluation.  This
+module keeps the historical import surface alive:
 
-1. idles the engine forward to the event's arrival time (if the engine is
-   already behind — e.g. it stalled on a blocking fetch — the event has been
-   queueing and its waiting time will show up in match latency);
-2. lets the strategy deliver due async responses into the cache, fire
-   offset-timed prefetches, and refresh its estimates;
-3. runs the engine's ``f_Q`` step;
-4. records matches and throughput.
+* :class:`RunResult` is re-exported from the runtime layer;
+* :class:`Pipeline` wraps one engine/strategy pair in a throwaway
+  :class:`~repro.runtime.session.QuerySession` and delegates to
+  :func:`~repro.runtime.dispatch.dispatch`.
 """
 
 from __future__ import annotations
 
-from typing import Any
-
 from repro.engine.engine import Engine
-from repro.engine.interface import MatchRecord
 from repro.events.stream import Stream
-from repro.metrics.latency import LatencyCollector
-from repro.metrics.throughput import ThroughputMeter
-from repro.obs.trace import CAT_EVENT, CAT_MATCH, NULL_TRACER
-from repro.remote.transport import TRANSPORT_COUNTER_KEYS
+from repro.obs.trace import NULL_TRACER
+from repro.runtime.dispatch import RunResult, dispatch
+from repro.runtime.session import QuerySession
 from repro.strategies.base import FetchStrategy
 
 __all__ = ["RunResult", "Pipeline"]
 
 
-class RunResult:
-    """Everything measured during one stream replay."""
-
-    def __init__(
-        self,
-        strategy_name: str,
-        matches: list[MatchRecord],
-        latency: LatencyCollector,
-        throughput: ThroughputMeter,
-        engine_stats: dict[str, Any],
-        strategy_stats: dict[str, Any],
-        cache_stats: dict[str, Any] | None,
-        transport_stats: dict[str, Any],
-        duration_us: float,
-        metrics: dict[str, Any] | None = None,
-    ) -> None:
-        self.strategy_name = strategy_name
-        self.matches = matches
-        self.latency = latency
-        self.throughput = throughput
-        self.engine_stats = engine_stats
-        self.strategy_stats = strategy_stats
-        self.cache_stats = cache_stats
-        self.transport_stats = transport_stats
-        self.duration_us = duration_us
-        # Full registry snapshot when the run was assembled with one; not
-        # part of summary() so observability cannot change reported results.
-        self.metrics = metrics
-
-    @property
-    def match_count(self) -> int:
-        return len(self.matches)
-
-    def match_signatures(self) -> set[tuple]:
-        """Canonical match identities, for cross-strategy equivalence checks."""
-        return {match.signature() for match in self.matches}
-
-    def latency_percentiles(self) -> dict[float, float]:
-        return self.latency.percentiles()
-
-    def summary(self) -> dict[str, Any]:
-        """Flat summary used by reports and EXPERIMENTS.md tables."""
-        data: dict[str, Any] = {
-            "strategy": self.strategy_name,
-            "matches": self.match_count,
-            "throughput_eps": round(self.throughput.events_per_second(), 1),
-        }
-        for q, value in self.latency_percentiles().items():
-            data[f"p{int(q)}"] = round(value, 2)
-        data.update({f"engine.{k}": v for k, v in self.engine_stats.items()})
-        data.update({f"fetch.{k}": v for k, v in self.strategy_stats.items()})
-        if self.cache_stats is not None:
-            data.update({f"cache.{k}": v for k, v in self.cache_stats.items()})
-        data.update({f"transport.{k}": v for k, v in self.transport_stats.items()})
-        return data
-
-    def __repr__(self) -> str:
-        p = self.latency_percentiles()
-        return (
-            f"RunResult({self.strategy_name}: {self.match_count} matches, "
-            f"p50={p[50]:.1f}us, p95={p[95]:.1f}us, "
-            f"{self.throughput.events_per_second():.0f} ev/s)"
-        )
-
-
 class Pipeline:
-    """Drives one engine/strategy pair over a stream."""
+    """Drives one engine/strategy pair over a stream (legacy surface).
+
+    New code should assemble a :class:`~repro.runtime.builder.Runtime` via
+    :class:`~repro.runtime.builder.RuntimeBuilder` and call ``run`` on it;
+    this wrapper exists for callers that hold a hand-built engine and
+    strategy (unit tests, notebooks).
+    """
 
     def __init__(self, engine: Engine, strategy: FetchStrategy) -> None:
         self.engine = engine
@@ -102,62 +38,21 @@ class Pipeline:
 
     def run(self, stream: Stream, smoothing_window: int = 1) -> RunResult:
         """Replay ``stream`` to completion and collect all measurements."""
-        engine = self.engine
-        strategy = self.strategy
-        clock = engine.clock
-        latency = LatencyCollector(smoothing_window=smoothing_window)
-        throughput = ThroughputMeter()
-        matches: list[MatchRecord] = []
-        start = clock.now
-        ctx = strategy.ctx
-        tracer = ctx.tracer if ctx is not None else NULL_TRACER
-
-        for index, event in enumerate(stream):
-            # The engine picks the event up at arrival or when it frees up,
-            # whichever is later — queueing delay is real latency.
-            clock.advance_to(event.t)
-            if tracer.enabled:
-                tracer.emit(CAT_EVENT, "arrival", event.t, seq_no=event.seq, picked_up=clock.now)
-            strategy.on_event_start(event, index)
-            step_matches = engine.process_event(event, strategy)
-            strategy.on_event_end(event, step_matches)
-            for match in step_matches:
-                latency.record(match.latency)
-                if tracer.enabled:
-                    tracer.emit(
-                        CAT_MATCH,
-                        "emit",
-                        match.detected_at,
-                        latency=match.latency,
-                        fetch_wait=match.fetch_wait,
-                        events=[
-                            [binding, bound.seq]
-                            for binding, bound in sorted(match.events.items())
-                        ],
-                    )
-            matches.extend(step_matches)
-            throughput.record_event(clock.now)
-
-        strategy.end_of_stream()
-        engine.flush(strategy)
-
-        cache = ctx.cache if ctx is not None else None
-        transport = ctx.transport if ctx is not None else None
-        return RunResult(
-            strategy_name=strategy.name,
-            matches=matches,
-            latency=latency,
-            throughput=throughput,
-            engine_stats=engine.stats.as_dict(),
-            strategy_stats=strategy.stats.as_dict(),
-            cache_stats=cache.stats.as_dict() if cache is not None else None,
-            transport_stats={
-                key: getattr(transport, key) for key in TRANSPORT_COUNTER_KEYS
-            }
-            if transport is not None
-            else {},
-            duration_us=clock.now - start,
-            metrics=ctx.metrics.snapshot()
-            if ctx is not None and ctx.metrics is not None
-            else None,
+        ctx = self.strategy.ctx
+        session = QuerySession(
+            spec=None,
+            automaton=self.engine.automaton,
+            engine=self.engine,
+            strategy=self.strategy,
+            utility=ctx.utility if ctx is not None else None,
+            rates=ctx.rates if ctx is not None else None,
         )
+        tracer = ctx.tracer if ctx is not None else NULL_TRACER
+        [result] = dispatch(
+            self.engine.clock,
+            [session],
+            stream,
+            tracer=tracer,
+            smoothing_window=smoothing_window,
+        )
+        return result

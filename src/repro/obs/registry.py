@@ -21,7 +21,7 @@ from typing import Any, Iterable
 
 from repro.metrics.latency import percentile
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "ScopedRegistry"]
 
 
 class Counter:
@@ -165,6 +165,15 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted([*self._counters, *self._gauges, *self._histograms])
 
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A view of this registry that prefixes every metric name.
+
+        Multi-query runtimes hand each query session a scope (e.g.
+        ``query.ab``) so per-session ``fetch.*`` counters land on distinct
+        cells of the *shared* registry instead of colliding.
+        """
+        return ScopedRegistry(self, prefix)
+
     def snapshot(self) -> dict[str, Any]:
         """All metrics as one flat, JSON-ready dict (sorted by name)."""
         data: dict[str, Any] = {}
@@ -183,3 +192,48 @@ class MetricsRegistry:
             f"MetricsRegistry({len(self._counters)} counters, "
             f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
         )
+
+
+class ScopedRegistry:
+    """A name-prefixing view over a :class:`MetricsRegistry`.
+
+    Metric creation delegates to the root registry with ``<prefix>.`` glued
+    onto every name; ``snapshot()`` still covers the *whole* root registry,
+    so any component holding a scope can export the full picture.
+    """
+
+    __slots__ = ("_root", "prefix")
+
+    def __init__(self, root: MetricsRegistry, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        self._root = root
+        self.prefix = prefix
+
+    @property
+    def root(self) -> MetricsRegistry:
+        return self._root
+
+    def counter(self, name: str) -> Counter:
+        return self._root.counter(f"{self.prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._root.gauge(f"{self.prefix}.{name}")
+
+    def histogram(self, name: str, window: float | None = None) -> Histogram:
+        return self._root.histogram(f"{self.prefix}.{name}", window=window)
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._root, f"{self.prefix}.{prefix}")
+
+    def names(self) -> list[str]:
+        """The root-registry names under this scope."""
+        marker = f"{self.prefix}."
+        return [name for name in self._root.names() if name.startswith(marker)]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full root snapshot (scopes share one source of truth)."""
+        return self._root.snapshot()
+
+    def __repr__(self) -> str:
+        return f"ScopedRegistry({self.prefix!r} over {self._root!r})"

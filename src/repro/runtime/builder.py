@@ -1,0 +1,332 @@
+"""The composition root: one place that assembles Fig. 4, for N queries.
+
+:class:`RuntimeBuilder` is the only code in the system that constructs the
+full substrate — virtual clock, RNG tree, transport (with fault model,
+retry policy, and breaker board), cache, latency monitor, tracer, and
+metrics registry — and wires per-query sessions onto it.  Both public
+facades (:class:`repro.EIRES` and
+:class:`repro.core.multi.MultiQueryEIRES`) delegate here, so single- and
+multi-query runs get identical fault tolerance, tracing, provenance, and
+metrics plumbing.
+
+The import of :class:`~repro.core.config.EiresConfig` is deferred to call
+time: the facades in :mod:`repro.core` import this module, and the runtime
+layer must sit *below* them in the architecture (see
+``tools/check_architecture.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.base import Cache
+from repro.cache.cost_based import CostBasedCache
+from repro.cache.history import HitHistory
+from repro.cache.lru import LRUCache
+from repro.engine.engine import Engine
+from repro.events.stream import Stream
+from repro.nfa.compiler import compile_query
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.query.ast import Query
+from repro.remote.element import DataKey
+from repro.remote.faults import make_fault_model
+from repro.remote.monitor import BreakerBoard, LatencyMonitor
+from repro.remote.retry import RetryPolicy
+from repro.remote.store import RemoteStore
+from repro.remote.transport import LatencyModel, Transport
+from repro.runtime.dispatch import RunResult, dispatch
+from repro.runtime.session import BACKEND_TREE, QuerySession, QuerySpec
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import make_rng, spawn
+from repro.sim.scheduler import FutureScheduler
+from repro.strategies import make_strategy
+from repro.strategies.base import FetchStrategy, RuntimeContext
+from repro.utility.model import UtilityModel
+from repro.utility.noise import NoiseModel
+from repro.utility.rates import RateEstimator
+
+if TYPE_CHECKING:  # imported lazily at runtime (layering: runtime < core)
+    from repro.core.config import EiresConfig
+
+__all__ = ["RuntimeBuilder", "Runtime", "CACHE_AUTO", "CACHE_ALWAYS"]
+
+# Whether build() materialises the cache only when some session wants one
+# (single-query behaviour) or unconditionally (multi-query: the shared
+# cache exists even if every registered strategy happens to run cacheless).
+CACHE_AUTO = "auto"
+CACHE_ALWAYS = "always"
+
+
+def _default_config() -> "EiresConfig":
+    from repro.core.config import EiresConfig
+
+    return EiresConfig()
+
+
+class RuntimeBuilder:
+    """Assembles a :class:`Runtime` from an ``EiresConfig``.
+
+    Usage::
+
+        runtime = (
+            RuntimeBuilder(store, UniformLatency(10, 100), config=config)
+            .add_query(q1, strategy="Hybrid", priority=2.0)
+            .add_query(q2, strategy="LzEval")
+            .build()
+        )
+        results = runtime.run(stream)   # {query_name: RunResult}
+    """
+
+    def __init__(
+        self,
+        store: RemoteStore,
+        latency_model: LatencyModel,
+        config: "EiresConfig | None" = None,
+        tracer: Tracer | None = None,
+        cache_mode: str = CACHE_AUTO,
+    ) -> None:
+        if cache_mode not in (CACHE_AUTO, CACHE_ALWAYS):
+            raise ValueError(f"unknown cache mode {cache_mode!r}")
+        self.store = store
+        self.latency_model = latency_model
+        self.config = config if config is not None else _default_config()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cache_mode = cache_mode
+        self._specs: list[QuerySpec] = []
+
+    def add_query(
+        self,
+        query: Query,
+        strategy: str | FetchStrategy = "Hybrid",
+        priority: float = 1.0,
+        backend: str = "automaton",
+    ) -> "RuntimeBuilder":
+        """Register a query; chainable."""
+        return self.add_spec(QuerySpec(query, priority=priority, strategy=strategy,
+                                       backend=backend))
+
+    def add_spec(self, spec: QuerySpec) -> "RuntimeBuilder":
+        self._specs.append(spec)
+        return self
+
+    def build(self) -> "Runtime":
+        """Assemble the substrate and one session per registered query."""
+        from repro.core.config import CACHE_COST, CACHE_LRU
+
+        if not self._specs:
+            raise ValueError("at least one query is required")
+        names = [spec.query.name for spec in self._specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"query names must be unique: {names}")
+
+        config = self.config
+        tracer = self.tracer
+        clock = VirtualClock()
+        metrics = MetricsRegistry()
+        rng = make_rng(config.seed)
+        monitor = LatencyMonitor()
+        # The fault rng is a *separate* stream spawned after the transport's:
+        # with fault_profile="none" no fault draws happen at all, so latency
+        # samples are byte-identical to a build without the fault machinery.
+        fault_model = make_fault_model(config.fault_profile)
+        retry_policy = RetryPolicy(
+            max_attempts=config.retry_max_attempts,
+            backoff_base=config.retry_backoff_base,
+            backoff_factor=config.retry_backoff_factor,
+            jitter=config.retry_jitter,
+            attempt_timeout=config.retry_attempt_timeout,
+            deadline=config.retry_deadline,
+        )
+        breakers = (
+            BreakerBoard(
+                window_size=config.breaker_window,
+                failure_threshold=config.breaker_failure_threshold,
+                min_samples=config.breaker_min_samples,
+                cooldown=config.breaker_cooldown,
+                tracer=tracer,
+            )
+            if config.breaker_enabled
+            else None
+        )
+        transport = Transport(
+            self.store,
+            self.latency_model,
+            spawn(rng, "transport"),
+            monitor,
+            fault_model=fault_model,
+            fault_rng=spawn(rng, "faults"),
+            retry_policy=retry_policy,
+            breakers=breakers,
+        )
+
+        runtime = Runtime(
+            config=config,
+            clock=clock,
+            metrics=metrics,
+            tracer=tracer,
+            monitor=monitor,
+            transport=transport,
+        )
+
+        specs = sorted(self._specs, key=lambda spec: -spec.priority)
+        strategies = [
+            spec.strategy_instance if spec.strategy_instance is not None
+            else make_strategy(spec.strategy_name)
+            for spec in specs
+        ]
+        if len(specs) == 1 and tracer.enabled and not tracer.track:
+            # Default the trace track to the strategy so multi-strategy
+            # comparisons land on separate rows in the Chrome viewer.
+            tracer.track = strategies[0].name
+        transport.bind_observability(metrics, tracer)
+
+        # The shared cache closes over the session list, which is populated
+        # below — the cost-based utility function reads it live.
+        want_cache = self.cache_mode == CACHE_ALWAYS or any(
+            strategy.uses_cache for strategy in strategies
+        )
+        if want_cache:
+            if config.cache_policy == CACHE_LRU:
+                cache: Cache | None = LRUCache(config.cache_capacity)
+            elif config.cache_policy == CACHE_COST:
+                cache = CostBasedCache(
+                    config.cache_capacity, utility_fn=runtime.shared_utility
+                )
+            else:
+                raise ValueError(f"unknown cache policy {config.cache_policy!r}")
+            cache.bind_observability(metrics, tracer)
+        else:
+            cache = None
+        runtime.cache = cache
+
+        noise = NoiseModel(config.noise_ratio, seed=config.seed)
+        runtime.noise = noise
+        scope_sessions = len(specs) > 1
+        for spec, strategy in zip(specs, strategies):
+            runtime.sessions.append(
+                self._build_session(runtime, spec, strategy, scoped=scope_sessions)
+            )
+        return runtime
+
+    def _build_session(
+        self,
+        runtime: "Runtime",
+        spec: QuerySpec,
+        strategy: FetchStrategy,
+        scoped: bool,
+    ) -> QuerySession:
+        """One query's engine/strategy/utility around the shared substrate."""
+        config = self.config
+        automaton = compile_query(spec.query)
+        utility = UtilityModel(automaton, self.store, runtime.monitor, noise=runtime.noise)
+        rates = RateEstimator()
+        # Multi-query sessions get their own metric namespace so fetch.*
+        # counters do not collide on the shared registry.
+        session_metrics = (
+            runtime.metrics.scoped(f"query.{spec.query.name}") if scoped else runtime.metrics
+        )
+        strategy.attach(
+            RuntimeContext(
+                automaton=automaton,
+                clock=runtime.clock,
+                transport=runtime.transport,
+                cache=runtime.cache if strategy.uses_cache else None,
+                utility=utility,
+                rates=rates,
+                scheduler=FutureScheduler(),  # per query: payloads are site-specific
+                history=HitHistory(
+                    miss_threshold=config.history_miss_threshold,
+                    reset_after=config.history_reset_after,
+                ),
+                noise=runtime.noise,
+                omega_fetch=config.omega_fetch,
+                ell_pm=config.cost_model.per_guard_cost,
+                lookahead_enabled=config.lookahead_enabled,
+                prefetch_gate_enabled=config.prefetch_gate_enabled,
+                lazy_gate_enabled=config.lazy_gate_enabled,
+                utility_tick_interval=config.utility_tick_interval,
+                failure_mode=config.failure_mode,
+                stale_serve_enabled=config.stale_serve_enabled,
+                metrics=session_metrics,
+                tracer=runtime.tracer,
+            )
+        )
+        if spec.backend == BACKEND_TREE:
+            # The §9 tree-based execution model; linear SEQ + greedy only.
+            from repro.engine.tree import TreeEngine
+
+            if config.policy != "greedy":
+                raise ValueError("the tree backend implements greedy selection only")
+            engine = TreeEngine(automaton, runtime.clock, cost_model=config.cost_model)
+        else:
+            engine = Engine(
+                automaton,
+                runtime.clock,
+                cost_model=config.cost_model,
+                policy=config.policy,
+                max_partial_matches=config.max_partial_matches,
+            )
+        strategy.bind_engine(engine)
+        return QuerySession(spec, automaton, engine, strategy, utility, rates)
+
+
+class Runtime:
+    """The assembled substrate plus its query sessions.
+
+    Everything the dispatch loop and the facades need lives here: the
+    shared clock/transport/cache/tracer/metrics, and one
+    :class:`~repro.runtime.session.QuerySession` per query in descending
+    priority order.
+    """
+
+    def __init__(
+        self,
+        config: "EiresConfig",
+        clock: VirtualClock,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+        monitor: LatencyMonitor,
+        transport: Transport,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.metrics = metrics
+        self.tracer = tracer
+        self.monitor = monitor
+        self.transport = transport
+        self.cache: Cache | None = None
+        self.noise: NoiseModel | None = None
+        self.sessions: list[QuerySession] = []
+
+    def session(self, name: str) -> QuerySession:
+        for session in self.sessions:
+            if session.name == name:
+                return session
+        raise KeyError(f"no session for query {name!r}")
+
+    def shared_utility(self, key: DataKey) -> float:
+        """Priority-weighted sum of the per-query utilities (Eq. 3 weights)."""
+        omega = self.config.omega_cache
+        return sum(
+            session.priority * session.utility.value(key, omega)
+            for session in self.sessions
+        )
+
+    def run(self, stream: Stream, smoothing_window: int = 1) -> dict[str, RunResult]:
+        """Replay ``stream`` through every session; results keyed by query name."""
+        results = dispatch(
+            self.clock,
+            self.sessions,
+            stream,
+            tracer=self.tracer,
+            smoothing_window=smoothing_window,
+            shared_cache=self.cache,
+        )
+        return {
+            session.name: result for session, result in zip(self.sessions, results)
+        }
+
+    def __repr__(self) -> str:
+        names = ", ".join(session.name for session in self.sessions)
+        return f"Runtime([{names}], cache={self.config.cache_policy})"

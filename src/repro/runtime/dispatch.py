@@ -1,0 +1,203 @@
+"""The event-dispatch loop: stream -> sessions -> engines -> metrics.
+
+This is the outer loop of Alg. 1, generalised to N query sessions sharing
+one virtual clock — the *only* stream-replay loop in the system.  For each
+input event the loop
+
+1. idles the shared clock forward to the event's arrival time (if an engine
+   is already behind — e.g. it stalled on a blocking fetch — the event has
+   been queueing and its waiting time will show up in match latency);
+2. for every session in priority order, lets the strategy deliver due async
+   responses into the cache, fire offset-timed prefetches, and refresh its
+   estimates, then runs the engine's ``f_Q`` step;
+3. records matches, per-session latency, and shared throughput.
+
+After the last event every session's strategy is drained and its engine
+flushed, and one :class:`RunResult` per session is assembled — including
+transport stats derived from :data:`~repro.remote.transport.TRANSPORT_COUNTER_KEYS`
+and a full metrics-registry snapshot, identically for single- and
+multi-query runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cache.base import Cache
+from repro.events.stream import Stream
+from repro.metrics.latency import LatencyCollector
+from repro.metrics.throughput import ThroughputMeter
+from repro.obs.trace import CAT_EVENT, CAT_MATCH, NULL_TRACER, Tracer
+from repro.remote.transport import TRANSPORT_COUNTER_KEYS
+from repro.runtime.session import QuerySession
+from repro.sim.clock import VirtualClock
+
+__all__ = ["RunResult", "dispatch", "THROUGHPUT_RUN", "THROUGHPUT_SHARED"]
+
+# How a result's throughput meter relates to the run that produced it:
+# "run"    — the meter covers exactly this result's replay (single query);
+# "shared" — the meter covers the whole multi-query replay, so every
+#            per-query result of that replay reports the *same* meter.
+THROUGHPUT_RUN = "run"
+THROUGHPUT_SHARED = "shared"
+
+
+class RunResult:
+    """Everything measured during one stream replay."""
+
+    def __init__(
+        self,
+        strategy_name: str,
+        matches: list,
+        latency: LatencyCollector,
+        throughput: ThroughputMeter,
+        engine_stats: dict[str, Any],
+        strategy_stats: dict[str, Any],
+        cache_stats: dict[str, Any] | None,
+        transport_stats: dict[str, Any],
+        duration_us: float,
+        metrics: dict[str, Any] | None = None,
+        throughput_scope: str = THROUGHPUT_RUN,
+    ) -> None:
+        self.strategy_name = strategy_name
+        self.matches = matches
+        self.latency = latency
+        self.throughput = throughput
+        self.engine_stats = engine_stats
+        self.strategy_stats = strategy_stats
+        self.cache_stats = cache_stats
+        self.transport_stats = transport_stats
+        self.duration_us = duration_us
+        # Full registry snapshot when the run was assembled with one; not
+        # part of summary() so observability cannot change reported results.
+        self.metrics = metrics
+        # "shared" marks a meter spanning a whole multi-query replay (the
+        # summary carries the scope so the sharing is explicit, not implied).
+        self.throughput_scope = throughput_scope
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matches)
+
+    def match_signatures(self) -> set[tuple]:
+        """Canonical match identities, for cross-strategy equivalence checks."""
+        return {match.signature() for match in self.matches}
+
+    def latency_percentiles(self) -> dict[float, float]:
+        return self.latency.percentiles()
+
+    def summary(self) -> dict[str, Any]:
+        """Flat summary used by reports and EXPERIMENTS.md tables."""
+        data: dict[str, Any] = {
+            "strategy": self.strategy_name,
+            "matches": self.match_count,
+            "throughput_eps": round(self.throughput.events_per_second(), 1),
+        }
+        if self.throughput_scope != THROUGHPUT_RUN:
+            data["throughput_scope"] = self.throughput_scope
+        for q, value in self.latency_percentiles().items():
+            data[f"p{int(q)}"] = round(value, 2)
+        data.update({f"engine.{k}": v for k, v in self.engine_stats.items()})
+        data.update({f"fetch.{k}": v for k, v in self.strategy_stats.items()})
+        if self.cache_stats is not None:
+            data.update({f"cache.{k}": v for k, v in self.cache_stats.items()})
+        data.update({f"transport.{k}": v for k, v in self.transport_stats.items()})
+        return data
+
+    def __repr__(self) -> str:
+        p = self.latency_percentiles()
+        return (
+            f"RunResult({self.strategy_name}: {self.match_count} matches, "
+            f"p50={p[50]:.1f}us, p95={p[95]:.1f}us, "
+            f"{self.throughput.events_per_second():.0f} ev/s)"
+        )
+
+
+def dispatch(
+    clock: VirtualClock,
+    sessions: Sequence[QuerySession],
+    stream: Stream,
+    tracer: Tracer = NULL_TRACER,
+    smoothing_window: int = 1,
+    shared_cache: Cache | None = None,
+) -> list[RunResult]:
+    """Replay ``stream`` through every session; one :class:`RunResult` each.
+
+    Sessions are driven in the given order for every event (the builder
+    sorts them by descending priority).  With a single session this loop is
+    byte-identical to the historical ``Pipeline.run``; with several, the
+    shared clock makes cross-query interference (one query's stall delaying
+    another's detection) directly observable, just like in a real shared
+    deployment.  ``shared_cache`` supplies cache statistics for sessions
+    whose own strategy runs cacheless but whose runtime still maintains the
+    shared cache (multi-query mode).
+    """
+    multi = len(sessions) > 1
+    for session in sessions:
+        session.begin_run(smoothing_window=smoothing_window)
+    throughput = ThroughputMeter()
+    start = clock.now
+
+    for index, event in enumerate(stream):
+        # The engines pick the event up at arrival or when the shared clock
+        # frees up, whichever is later — queueing delay is real latency.
+        clock.advance_to(event.t)
+        if tracer.enabled:
+            tracer.emit(CAT_EVENT, "arrival", event.t, seq_no=event.seq, picked_up=clock.now)
+        for session in sessions:
+            strategy = session.strategy
+            strategy.on_event_start(event, index)
+            step_matches = session.engine.process_event(event, strategy)
+            strategy.on_event_end(event, step_matches)
+            for match in step_matches:
+                session.latency.record(match.latency)
+                if tracer.enabled:
+                    fields: dict[str, Any] = {
+                        "latency": match.latency,
+                        "fetch_wait": match.fetch_wait,
+                        "events": [
+                            [binding, bound.seq]
+                            for binding, bound in sorted(match.events.items())
+                        ],
+                    }
+                    if multi:
+                        fields["query"] = session.name
+                    tracer.emit(CAT_MATCH, "emit", match.detected_at, **fields)
+            session.matches.extend(step_matches)
+        throughput.record_event(clock.now)
+
+    for session in sessions:
+        session.strategy.end_of_stream()
+        session.engine.flush(session.strategy)
+
+    scope = THROUGHPUT_SHARED if multi else THROUGHPUT_RUN
+    duration = clock.now - start
+    results = []
+    for session in sessions:
+        ctx = session.strategy.ctx
+        cache = ctx.cache if ctx is not None else None
+        if cache is None:
+            cache = shared_cache
+        transport = ctx.transport if ctx is not None else None
+        results.append(
+            RunResult(
+                strategy_name=session.strategy.name,
+                matches=session.matches,
+                latency=session.latency,
+                throughput=throughput,
+                engine_stats=session.engine.stats.as_dict(),
+                strategy_stats=session.strategy.stats.as_dict(),
+                cache_stats=cache.stats.as_dict() if cache is not None else None,
+                transport_stats={
+                    key: getattr(transport, key) for key in TRANSPORT_COUNTER_KEYS
+                }
+                if transport is not None
+                else {},
+                duration_us=duration,
+                metrics=ctx.metrics.snapshot()
+                if ctx is not None and ctx.metrics is not None
+                else None,
+                throughput_scope=scope,
+            )
+        )
+    return results

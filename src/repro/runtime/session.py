@@ -1,0 +1,107 @@
+"""Per-query units of the runtime layer.
+
+A :class:`QuerySpec` declares *what* to run (query, priority, strategy
+name, engine backend); a :class:`QuerySession` is the assembled unit the
+dispatch loop drives — automaton, engine, attached fetch strategy, utility
+model, and rate estimators around the substrate shared by all sessions.
+Sessions are built exclusively by
+:class:`~repro.runtime.builder.RuntimeBuilder`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.interface import MatchRecord
+from repro.metrics.latency import LatencyCollector
+from repro.nfa.automaton import Automaton
+from repro.query.ast import Query
+from repro.strategies.base import FetchStrategy
+from repro.utility.model import UtilityModel
+from repro.utility.rates import RateEstimator
+
+__all__ = ["QuerySpec", "QuerySession"]
+
+BACKEND_AUTOMATON = "automaton"
+BACKEND_TREE = "tree"
+
+
+class QuerySpec:
+    """One query registered with the runtime.
+
+    ``strategy`` may be a paper name (``"BL1"`` .. ``"Hybrid"``) or an
+    already constructed :class:`~repro.strategies.base.FetchStrategy`
+    instance; ``backend`` picks the execution model (``"automaton"`` or the
+    §9 ``"tree"`` engine).
+    """
+
+    __slots__ = ("query", "priority", "strategy_name", "strategy_instance", "backend")
+
+    def __init__(
+        self,
+        query: Query,
+        priority: float = 1.0,
+        strategy: str | FetchStrategy = "Hybrid",
+        backend: str = BACKEND_AUTOMATON,
+    ) -> None:
+        if priority <= 0:
+            raise ValueError(f"query priority must be positive: {priority}")
+        if backend not in (BACKEND_AUTOMATON, BACKEND_TREE):
+            raise ValueError(f"unknown backend {backend!r}; use 'automaton' or 'tree'")
+        self.query = query
+        self.priority = priority
+        if isinstance(strategy, str):
+            self.strategy_name = strategy
+            self.strategy_instance: FetchStrategy | None = None
+        else:
+            self.strategy_name = strategy.name
+            self.strategy_instance = strategy
+        self.backend = backend
+
+    def __repr__(self) -> str:
+        return f"QuerySpec({self.query.name!r}, priority={self.priority}, {self.strategy_name})"
+
+
+class QuerySession:
+    """One query's assembled moving parts around the shared substrate.
+
+    ``matches`` and ``latency`` are (re)initialised by the dispatch loop at
+    the start of every replay; everything else is build-time state.
+    """
+
+    __slots__ = ("spec", "automaton", "engine", "strategy", "utility", "rates",
+                 "matches", "latency")
+
+    def __init__(
+        self,
+        spec: QuerySpec | None,
+        automaton: Automaton,
+        engine,
+        strategy: FetchStrategy,
+        utility: UtilityModel | None,
+        rates: RateEstimator | None,
+    ) -> None:
+        self.spec = spec
+        self.automaton = automaton
+        self.engine = engine
+        self.strategy = strategy
+        self.utility = utility
+        self.rates = rates
+        self.matches: list[MatchRecord] = []
+        self.latency = LatencyCollector()
+
+    @property
+    def name(self) -> str:
+        # Hand-built sessions (the legacy Pipeline shim) carry no spec; the
+        # automaton's name then identifies the session.
+        return self.spec.query.name if self.spec is not None else self.automaton.name
+
+    @property
+    def priority(self) -> float:
+        return self.spec.priority if self.spec is not None else 1.0
+
+    def begin_run(self, smoothing_window: int = 1) -> None:
+        """Reset the per-replay collectors (the dispatch loop calls this)."""
+        self.matches = []
+        self.latency = LatencyCollector(smoothing_window=smoothing_window)
+
+    def __repr__(self) -> str:
+        return f"QuerySession({self.name!r}, {self.strategy.name}, priority={self.priority})"

@@ -11,37 +11,39 @@ decision hooks:
 * :meth:`FetchStrategy.should_block_obligations` — whether a run carrying
   postponed predicates may keep developing (L2);
 * :meth:`FetchStrategy.on_run_created` — prefetch triggering (P1/P2).
+
+The machinery is split into focused modules behind this import surface:
+:mod:`repro.strategies.context` (the runtime context and failure modes),
+:mod:`repro.strategies.stats` (the ``fetch.*`` counter view),
+:mod:`repro.strategies.fetch_plane` (data movement: blocking rounds, async
+delivery, staleness fallback), and :mod:`repro.strategies.obligations`
+(postponed-predicate resolution).  ``FetchStrategy`` composes them and adds
+the lifecycle wiring.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any
 
-from repro.cache.base import Cache
-from repro.cache.history import HitHistory
-from repro.engine.interface import POSTPONED
 from repro.events.event import Event
-from repro.nfa.automaton import Automaton, Transition
+from repro.nfa.automaton import Transition
 from repro.nfa.run import Run
-from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import (
-    CAT_FETCH,
-    CAT_OBLIGATION,
-    CAT_RUN,
-    NULL_TRACER,
-    Tracer,
-    trace_key,
-)
-from repro.query.errors import RemoteDataUnavailable
+from repro.obs.trace import CAT_OBLIGATION, CAT_RUN
 from repro.query.predicates import Predicate
 from repro.remote.element import DataKey
-from repro.remote.transport import Transport
-from repro.sim.clock import VirtualClock
-from repro.sim.scheduler import FutureScheduler
-from repro.utility.model import UtilityModel
-from repro.utility.noise import NoiseModel
-from repro.utility.rates import RateEstimator
+from repro.strategies.context import FAIL_CLOSED, FAIL_OPEN, RuntimeContext
+from repro.strategies.fetch_plane import FetchPlane
+
+# _evaluate_with is re-exported for existing importers of the pre-split layout.
+from repro.strategies.obligations import (  # noqa: F401
+    ObligationResolution,
+    _evaluate_with,
+)
+from repro.strategies.stats import (
+    DEGRADATION_COUNTER_KEYS,
+    STRATEGY_COUNTER_KEYS,
+    StrategyStats,
+)
 
 __all__ = [
     "RuntimeContext",
@@ -53,127 +55,8 @@ __all__ = [
     "DEGRADATION_COUNTER_KEYS",
 ]
 
-_PURPOSE_PREFETCH = "prefetch"
-_PURPOSE_LAZY = "lazy"
 
-# How a predicate whose remote data is *terminally* unavailable (fetch failed
-# after all retries, no stale value to serve) resolves:
-# fail-closed — the predicate counts as false: the affected partial match is
-#   dropped (no match emitted from unverified data);
-# fail-open — the predicate counts as true: the match is emitted despite the
-#   missing evidence (availability over strictness).
-FAIL_OPEN = "fail_open"
-FAIL_CLOSED = "fail_closed"
-
-
-@dataclass
-class RuntimeContext:
-    """Everything a strategy needs from the assembled framework."""
-
-    automaton: Automaton
-    clock: VirtualClock
-    transport: Transport
-    cache: Cache | None
-    utility: UtilityModel
-    rates: RateEstimator
-    scheduler: FutureScheduler
-    history: HitHistory
-    noise: NoiseModel
-    omega_fetch: float = 0.7
-    ell_pm: float = 0.05
-    lookahead_enabled: bool = True
-    prefetch_gate_enabled: bool = True
-    lazy_gate_enabled: bool = True
-    utility_tick_interval: int = 1
-    failure_mode: str = FAIL_CLOSED
-    stale_serve_enabled: bool = True
-    # Observability: the shared metrics registry the stats façades bind to
-    # and the trace bus.  Both default to off/None so hand-built contexts
-    # (unit tests) behave exactly as before.
-    metrics: MetricsRegistry | None = None
-    tracer: Tracer = NULL_TRACER
-
-
-# Every counter a strategy maintains, in report order.  This tuple is the
-# single source of truth: ``StrategyStats`` registers exactly these cells,
-# ``as_dict()`` reports them in this order, and the fault table derives its
-# columns from the degradation subset below — a renamed counter breaks a
-# test instead of silently dropping out of a report.
-STRATEGY_COUNTER_KEYS = (
-    "blocking_stalls",
-    "total_stall_time",
-    "prefetches_issued",
-    "prefetches_suppressed",
-    "lazy_postponements",
-    "forced_blocks",
-    "history_hits",
-    "history_misses",
-    "fetch_failures",
-    "retries",
-    "breaker_opens",
-    "breaker_skips",
-    "obligations_expired",
-    "stale_serves",
-)
-
-# The counters that stay zero on a healthy network; faulted runs surface
-# them in ``repro.metrics.reporting``'s fault table.
-DEGRADATION_COUNTER_KEYS = (
-    "fetch_failures",
-    "retries",
-    "breaker_opens",
-    "breaker_skips",
-    "obligations_expired",
-    "stale_serves",
-)
-
-
-class StrategyStats:
-    """Counters describing one strategy's behaviour during a run.
-
-    A view over a :class:`~repro.obs.registry.MetricsRegistry`: each counter
-    attribute reads and writes a registry cell under ``fetch.<name>``, so a
-    metrics snapshot and this façade can never disagree.  Standalone
-    construction (unit tests, unattached strategies) binds a private
-    registry.
-    """
-
-    __slots__ = ("_cells", "extra")
-
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
-        registry = registry if registry is not None else MetricsRegistry()
-        self._cells = {key: registry.counter(f"fetch.{key}") for key in STRATEGY_COUNTER_KEYS}
-        # Stall time accumulates float microseconds; keep the cell float so
-        # reports render `0.0` (not `0`) on stall-free runs.
-        cell = self._cells["total_stall_time"]
-        cell.value = float(cell.value)
-        self.extra: dict[str, Any] = {}
-
-    def as_dict(self) -> dict[str, Any]:
-        data: dict[str, Any] = {}
-        for key in STRATEGY_COUNTER_KEYS:
-            value = self._cells[key].value
-            data[key] = round(value, 3) if key == "total_stall_time" else value
-        data.update(self.extra)
-        return data
-
-
-def _counter_property(key: str) -> property:
-    def _get(self: StrategyStats):
-        return self._cells[key].value
-
-    def _set(self: StrategyStats, value) -> None:
-        self._cells[key].value = value
-
-    return property(_get, _set)
-
-
-for _key in STRATEGY_COUNTER_KEYS:
-    setattr(StrategyStats, _key, _counter_property(_key))
-del _key
-
-
-class FetchStrategy:
+class FetchStrategy(ObligationResolution, FetchPlane):
     """Base class implementing the engine-facing strategy protocol."""
 
     name = "base"
@@ -237,97 +120,7 @@ class FetchStrategy:
         """Give the strategy access to live run counts (for #P_j)."""
         self._engine = engine
 
-    # -- engine protocol ------------------------------------------------------------
-    def resolve_predicate(
-        self, transition: Transition, predicate: Predicate, run: Run | None, env: Mapping[str, Event]
-    ):
-        """Evaluate a remote predicate, or return POSTPONED (§5.2)."""
-        keys = predicate.remote_keys(env)
-        self._deliver_due()
-        values, missing = self._collect(keys)
-        self._record_history(transition, predicate, missing)
-        if missing:
-            if self.decide_postpone(transition, predicate, run, env, missing):
-                self.stats.lazy_postponements += 1
-                tracer = self.ctx.tracer
-                if tracer.enabled:
-                    tracer.emit(
-                        CAT_OBLIGATION,
-                        "postpone",
-                        self.ctx.clock.now,
-                        transition=transition.index,
-                        run_id=tracer.run_ref(run.run_id) if run is not None else None,
-                        keys=[trace_key(key) for key in missing],
-                    )
-                return POSTPONED
-            values.update(self._block_for(missing))
-        return _evaluate_with(predicate, env, values, self.ctx.failure_mode)
-
-    def resolve_obligation_predicate(
-        self, predicate: Predicate, env: Mapping[str, Event], blocking: bool
-    ):
-        """Re-evaluate a postponed predicate once its data (maybe) arrived."""
-        keys = predicate.remote_keys(env)
-        self._deliver_due()
-        values, missing = self._collect(keys)
-        if missing:
-            if not blocking:
-                return POSTPONED
-            values.update(self._block_for(missing))
-        outcome = _evaluate_with(predicate, env, values, self.ctx.failure_mode)
-        tracer = self.ctx.tracer
-        if tracer.enabled:
-            tracer.emit(
-                CAT_OBLIGATION,
-                "resolve",
-                self.ctx.clock.now,
-                outcome=bool(outcome),
-                blocking=blocking,
-            )
-        return outcome
-
-    def prepare_blocking(self, run: Run) -> None:
-        """Fetch everything a run's obligations still miss, in one round.
-
-        Called by the engine before blocking obligation resolution so the
-        stall is the *maximum* outstanding transmission latency rather than
-        the sum over predicates — the effect the paper credits for BL3
-        beating BL1/BL2 on Q1 (§7.2).
-        """
-        missing: list[DataKey] = []
-        seen: set[DataKey] = set()
-        self._deliver_due()
-        self._in_blocking_round = True
-        for obligation in run.obligations:
-            for predicate in obligation.predicates:
-                for key in predicate.remote_keys(obligation.env):
-                    if key not in seen and not self._available(key):
-                        seen.add(key)
-                        missing.append(key)
-        if missing:
-            self._staged.update(self._block_for(missing))
-
-    def finish_blocking(self) -> None:
-        """End of a blocking obligation-resolution round: drop staged values."""
-        self._staged.clear()
-        self._round_failed.clear()
-        self._in_blocking_round = False
-
-    def should_block_obligations(self, run: Run) -> bool:
-        """Default: obligations ride until the final state resolves them."""
-        return False
-
-    def decide_postpone(
-        self,
-        transition: Transition,
-        predicate: Predicate,
-        run: Run | None,
-        env: Mapping[str, Event],
-        missing: list[DataKey],
-    ) -> bool:
-        """Default: never postpone — block until the data is fetched."""
-        return False
-
+    # -- run lifecycle ------------------------------------------------------------
     def on_run_created(self, run: Run) -> None:
         self.ctx.utility.on_run_created(run)
         tracer = self.ctx.tracer
@@ -372,157 +165,6 @@ class FetchStrategy:
     def observe_guard(self, transition: Transition, passed: bool) -> None:
         self.ctx.rates.observe_guard(transition.index, passed)
 
-    # -- remote access helpers ---------------------------------------------------------
-    def _available(self, key: DataKey) -> bool:
-        """Availability probe without hit/miss accounting (planner checks)."""
-        cache = self.ctx.cache
-        return cache is not None and cache.peek(key, self.ctx.clock.now) is not None
-
-    def _collect(self, keys) -> tuple[dict[DataKey, Any], list[DataKey]]:
-        """Snapshot the locally available values for ``keys``.
-
-        Snapshotting decouples evaluation from cache state: inserting a
-        just-fetched element may evict another key of the *same* predicate,
-        so values must be read out before any further insertion.  Each
-        lookup counts once in the cache's hit/miss statistics.
-        """
-        values: dict[DataKey, Any] = {}
-        missing: list[DataKey] = []
-        cache = self.ctx.cache
-        now = self.ctx.clock.now
-        for key in keys:
-            if key in values:
-                continue
-            if key in self._staged:
-                values[key] = self._staged[key]
-                continue
-            if key in self._round_failed:
-                # Terminally failed this round: neither available nor worth
-                # re-requesting — the predicate resolves per failure_mode.
-                continue
-            element = cache.get(key, now) if cache is not None else None
-            if element is None:
-                missing.append(key)
-            else:
-                values[key] = self._value_for(key, element)
-        return values, missing
-
-    def _value_for(self, key: DataKey, element) -> Any:
-        """The value for ``key`` given a cache hit (possibly on a container)."""
-        if element.key == key:
-            return element.value
-        # Container hit: serve the contained element's own value.
-        return self.ctx.transport.store.lookup(key).value
-
-    def _block_for(self, keys: list[DataKey]) -> dict[DataKey, Any]:
-        """Fetch ``keys``, stalling the engine until all outcomes are known.
-
-        Requests are issued concurrently (the stall is the max, not the sum
-        — this is what makes BL3's one-shot fetching cheaper per match than
-        BL1's state-by-state stalls).  Requests already in flight are simply
-        awaited for their remaining time; pending requests that are doomed
-        to fail are taken over so their retry chain completes within the
-        stall.  Returns the fetched values; with a cache attached they are
-        also inserted (tier T1 — their use is certain), while BL1 keeps
-        nothing beyond the returned snapshot.
-
-        A key whose fetch terminally fails (retries exhausted) is served
-        from the stale-value fallback when enabled and known, and is
-        otherwise left out of the returned snapshot — the caller's
-        ``failure_mode`` then decides the predicate.
-        """
-        ctx = self.ctx
-        now = ctx.clock.now
-        latest = now
-        requests = []
-        owned: list = []  # blocking requests this call issued (to deregister)
-        for key in keys:
-            pending = ctx.transport.in_flight(key)
-            if pending is not None and (pending.ok or pending.final):
-                request = pending
-            else:
-                request = ctx.transport.fetch_blocking(key, now)
-                owned.append(request)
-            requests.append(request)
-            if request.arrives_at > latest:
-                latest = request.arrives_at
-        self.stats.blocking_stalls += 1
-        self.stats.total_stall_time += latest - now
-        tracer = ctx.tracer
-        if tracer.enabled:
-            tracer.emit(
-                CAT_FETCH,
-                "stall",
-                now,
-                dur=latest - now,
-                keys=[trace_key(key) for key in keys],
-            )
-        ctx.clock.advance_to(latest)
-        values: dict[DataKey, Any] = {}
-        cache = ctx.cache
-        owned_set = {id(request) for request in owned}
-        for request in requests:
-            self._purpose.pop(request.key, None)
-            if request.ok:
-                values[request.key] = request.element.value
-                if ctx.stale_serve_enabled:
-                    self._last_known[request.key] = request.element.value
-                if cache is not None:
-                    cache.put(request.element, ctx.clock.now, certain=True)
-                continue
-            # Terminal failure.  Pending async failures are counted when
-            # delivered; only failures of requests we issued count here.
-            if id(request) in owned_set:
-                self.stats.fetch_failures += 1
-            if self._in_blocking_round:
-                self._round_failed.add(request.key)
-            if ctx.stale_serve_enabled and request.key in self._last_known:
-                values[request.key] = self._last_known[request.key]
-                self.stats.stale_serves += 1
-        for request in owned:
-            ctx.transport.complete(request)
-        self._deliver_due()
-        return values
-
-    def _deliver_due(self) -> None:
-        """Move arrived async responses into the cache.
-
-        Failed responses (retries exhausted) deliver nothing: the key simply
-        stays absent, which is *not* the same as a successful fetch of the
-        ``MISSING_VALUE`` sentinel — a later evaluation either re-fetches or
-        resolves per ``failure_mode``.
-        """
-        ctx = self.ctx
-        delivered = ctx.transport.deliver_due(ctx.clock.now)
-        if not delivered:
-            return
-        cache = ctx.cache
-        for request in delivered:
-            purpose = self._purpose.pop(request.key, _PURPOSE_LAZY)
-            if not request.ok:
-                self.stats.fetch_failures += 1
-                continue
-            if ctx.stale_serve_enabled:
-                self._last_known[request.key] = request.element.value
-            if cache is not None:
-                cache.put(request.element, ctx.clock.now, certain=purpose == _PURPOSE_LAZY)
-
-    def _fetch_async(self, key: DataKey, purpose: str) -> None:
-        ctx = self.ctx
-        if ctx.transport.in_flight(key) is None:
-            ctx.transport.fetch_async(key, ctx.clock.now)
-            self._purpose[key] = purpose
-        elif purpose == _PURPOSE_LAZY:
-            # A lazy need upgrades a speculative prefetch: its use is now certain.
-            self._purpose[key] = _PURPOSE_LAZY
-
-    def _fetch_async_lazy(self, keys: list[DataKey]) -> None:
-        for key in keys:
-            self._fetch_async(key, _PURPOSE_LAZY)
-
-    def _fetch_async_prefetch(self, key: DataKey) -> None:
-        self._fetch_async(key, _PURPOSE_PREFETCH)
-
     # -- subclass hooks -------------------------------------------------------------
     def _fire_scheduled(self) -> None:
         """Consume scheduler payloads (offset prefetches); default: none."""
@@ -548,33 +190,3 @@ class FetchStrategy:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
-
-
-def _evaluate_with(
-    predicate: Predicate,
-    env: Mapping[str, Event],
-    values: dict,
-    failure_mode: str | None = None,
-) -> bool:
-    """Evaluate a predicate against a pre-collected value snapshot.
-
-    A key absent from ``values`` after a blocking round means its fetch
-    terminally failed; ``failure_mode`` then decides the predicate
-    (fail-open: true, fail-closed: false).  Without a failure mode the
-    unavailability propagates — on a healthy network it indicates a bug.
-    """
-
-    def resolver(key):
-        try:
-            return values[key]
-        except KeyError:
-            raise RemoteDataUnavailable(key) from None
-
-    try:
-        return predicate.evaluate(env, resolver)
-    except RemoteDataUnavailable:
-        if failure_mode == FAIL_OPEN:
-            return True
-        if failure_mode == FAIL_CLOSED:
-            return False
-        raise

@@ -1,0 +1,178 @@
+"""The fetch plane: how a strategy moves remote data to the engine.
+
+Everything that touches the :class:`~repro.remote.transport.Transport` or
+the cache on a strategy's behalf lives here — blocking rounds with their
+stall accounting, async issue/delivery with cache-tier intent, and the
+stale-value fallback of graceful degradation.  The decision logic of *when*
+to fetch stays in :mod:`repro.strategies.obligations` and the concrete
+strategy subclasses; this mixin only executes the data movement.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.trace import CAT_FETCH, trace_key
+from repro.remote.element import DataKey
+from repro.strategies.context import PURPOSE_LAZY, PURPOSE_PREFETCH
+
+__all__ = ["FetchPlane"]
+
+
+class FetchPlane:
+    """Remote-access helpers shared by every fetch strategy.
+
+    Mixed into :class:`~repro.strategies.base.FetchStrategy`, which owns the
+    instance state these methods use (``ctx``, ``stats``, ``_purpose``,
+    ``_staged``, ``_round_failed``, ``_in_blocking_round``, ``_last_known``).
+    """
+
+    def _available(self, key: DataKey) -> bool:
+        """Availability probe without hit/miss accounting (planner checks)."""
+        cache = self.ctx.cache
+        return cache is not None and cache.peek(key, self.ctx.clock.now) is not None
+
+    def _collect(self, keys) -> tuple[dict[DataKey, Any], list[DataKey]]:
+        """Snapshot the locally available values for ``keys``.
+
+        Snapshotting decouples evaluation from cache state: inserting a
+        just-fetched element may evict another key of the *same* predicate,
+        so values must be read out before any further insertion.  Each
+        lookup counts once in the cache's hit/miss statistics.
+        """
+        values: dict[DataKey, Any] = {}
+        missing: list[DataKey] = []
+        cache = self.ctx.cache
+        now = self.ctx.clock.now
+        for key in keys:
+            if key in values:
+                continue
+            if key in self._staged:
+                values[key] = self._staged[key]
+                continue
+            if key in self._round_failed:
+                # Terminally failed this round: neither available nor worth
+                # re-requesting — the predicate resolves per failure_mode.
+                continue
+            element = cache.get(key, now) if cache is not None else None
+            if element is None:
+                missing.append(key)
+            else:
+                values[key] = self._value_for(key, element)
+        return values, missing
+
+    def _value_for(self, key: DataKey, element) -> Any:
+        """The value for ``key`` given a cache hit (possibly on a container)."""
+        if element.key == key:
+            return element.value
+        # Container hit: serve the contained element's own value.
+        return self.ctx.transport.store.lookup(key).value
+
+    def _block_for(self, keys: list[DataKey]) -> dict[DataKey, Any]:
+        """Fetch ``keys``, stalling the engine until all outcomes are known.
+
+        Requests are issued concurrently (the stall is the max, not the sum
+        — this is what makes BL3's one-shot fetching cheaper per match than
+        BL1's state-by-state stalls).  Requests already in flight are simply
+        awaited for their remaining time; pending requests that are doomed
+        to fail are taken over so their retry chain completes within the
+        stall.  Returns the fetched values; with a cache attached they are
+        also inserted (tier T1 — their use is certain), while BL1 keeps
+        nothing beyond the returned snapshot.
+
+        A key whose fetch terminally fails (retries exhausted) is served
+        from the stale-value fallback when enabled and known, and is
+        otherwise left out of the returned snapshot — the caller's
+        ``failure_mode`` then decides the predicate.
+        """
+        ctx = self.ctx
+        now = ctx.clock.now
+        latest = now
+        requests = []
+        owned: list = []  # blocking requests this call issued (to deregister)
+        for key in keys:
+            pending = ctx.transport.in_flight(key)
+            if pending is not None and (pending.ok or pending.final):
+                request = pending
+            else:
+                request = ctx.transport.fetch_blocking(key, now)
+                owned.append(request)
+            requests.append(request)
+            if request.arrives_at > latest:
+                latest = request.arrives_at
+        self.stats.blocking_stalls += 1
+        self.stats.total_stall_time += latest - now
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.emit(
+                CAT_FETCH,
+                "stall",
+                now,
+                dur=latest - now,
+                keys=[trace_key(key) for key in keys],
+            )
+        ctx.clock.advance_to(latest)
+        values: dict[DataKey, Any] = {}
+        cache = ctx.cache
+        owned_set = {id(request) for request in owned}
+        for request in requests:
+            self._purpose.pop(request.key, None)
+            if request.ok:
+                values[request.key] = request.element.value
+                if ctx.stale_serve_enabled:
+                    self._last_known[request.key] = request.element.value
+                if cache is not None:
+                    cache.put(request.element, ctx.clock.now, certain=True)
+                continue
+            # Terminal failure.  Pending async failures are counted when
+            # delivered; only failures of requests we issued count here.
+            if id(request) in owned_set:
+                self.stats.fetch_failures += 1
+            if self._in_blocking_round:
+                self._round_failed.add(request.key)
+            if ctx.stale_serve_enabled and request.key in self._last_known:
+                values[request.key] = self._last_known[request.key]
+                self.stats.stale_serves += 1
+        for request in owned:
+            ctx.transport.complete(request)
+        self._deliver_due()
+        return values
+
+    def _deliver_due(self) -> None:
+        """Move arrived async responses into the cache.
+
+        Failed responses (retries exhausted) deliver nothing: the key simply
+        stays absent, which is *not* the same as a successful fetch of the
+        ``MISSING_VALUE`` sentinel — a later evaluation either re-fetches or
+        resolves per ``failure_mode``.
+        """
+        ctx = self.ctx
+        delivered = ctx.transport.deliver_due(ctx.clock.now)
+        if not delivered:
+            return
+        cache = ctx.cache
+        for request in delivered:
+            purpose = self._purpose.pop(request.key, PURPOSE_LAZY)
+            if not request.ok:
+                self.stats.fetch_failures += 1
+                continue
+            if ctx.stale_serve_enabled:
+                self._last_known[request.key] = request.element.value
+            if cache is not None:
+                cache.put(request.element, ctx.clock.now, certain=purpose == PURPOSE_LAZY)
+
+    def _fetch_async(self, key: DataKey, purpose: str) -> None:
+        ctx = self.ctx
+        if ctx.transport.in_flight(key) is None:
+            ctx.transport.fetch_async(key, ctx.clock.now)
+            self._purpose[key] = purpose
+        elif purpose == PURPOSE_LAZY:
+            # A lazy need upgrades a speculative prefetch: its use is now certain.
+            self._purpose[key] = PURPOSE_LAZY
+
+    def _fetch_async_lazy(self, keys: list[DataKey]) -> None:
+        for key in keys:
+            self._fetch_async(key, PURPOSE_LAZY)
+
+    def _fetch_async_prefetch(self, key: DataKey) -> None:
+        self._fetch_async(key, PURPOSE_PREFETCH)

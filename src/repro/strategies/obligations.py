@@ -1,0 +1,154 @@
+"""Obligation handling: postponed predicates and their resolution (§5.2).
+
+This mixin implements the engine-facing predicate protocol — evaluate now,
+block, or postpone — and the blocking obligation-resolution rounds that
+gather everything a run still misses in one stall.  The data movement it
+triggers lives in :mod:`repro.strategies.fetch_plane`; the postpone/block
+*decisions* are the subclass hooks :meth:`decide_postpone` and
+:meth:`should_block_obligations`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.engine.interface import POSTPONED
+from repro.events.event import Event
+from repro.nfa.automaton import Transition
+from repro.nfa.run import Run
+from repro.obs.trace import CAT_OBLIGATION, trace_key
+from repro.query.errors import RemoteDataUnavailable
+from repro.query.predicates import Predicate
+from repro.remote.element import DataKey
+from repro.strategies.context import FAIL_CLOSED, FAIL_OPEN
+
+__all__ = ["ObligationResolution", "_evaluate_with"]
+
+
+class ObligationResolution:
+    """Remote-predicate evaluation with postponement, for the engine protocol.
+
+    Mixed into :class:`~repro.strategies.base.FetchStrategy`; relies on the
+    fetch plane (``_collect``, ``_block_for``, ``_deliver_due``) and the
+    shared instance state declared there.
+    """
+
+    def resolve_predicate(
+        self, transition: Transition, predicate: Predicate, run: Run | None, env: Mapping[str, Event]
+    ):
+        """Evaluate a remote predicate, or return POSTPONED (§5.2)."""
+        keys = predicate.remote_keys(env)
+        self._deliver_due()
+        values, missing = self._collect(keys)
+        self._record_history(transition, predicate, missing)
+        if missing:
+            if self.decide_postpone(transition, predicate, run, env, missing):
+                self.stats.lazy_postponements += 1
+                tracer = self.ctx.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        CAT_OBLIGATION,
+                        "postpone",
+                        self.ctx.clock.now,
+                        transition=transition.index,
+                        run_id=tracer.run_ref(run.run_id) if run is not None else None,
+                        keys=[trace_key(key) for key in missing],
+                    )
+                return POSTPONED
+            values.update(self._block_for(missing))
+        return _evaluate_with(predicate, env, values, self.ctx.failure_mode)
+
+    def resolve_obligation_predicate(
+        self, predicate: Predicate, env: Mapping[str, Event], blocking: bool
+    ):
+        """Re-evaluate a postponed predicate once its data (maybe) arrived."""
+        keys = predicate.remote_keys(env)
+        self._deliver_due()
+        values, missing = self._collect(keys)
+        if missing:
+            if not blocking:
+                return POSTPONED
+            values.update(self._block_for(missing))
+        outcome = _evaluate_with(predicate, env, values, self.ctx.failure_mode)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.emit(
+                CAT_OBLIGATION,
+                "resolve",
+                self.ctx.clock.now,
+                outcome=bool(outcome),
+                blocking=blocking,
+            )
+        return outcome
+
+    def prepare_blocking(self, run: Run) -> None:
+        """Fetch everything a run's obligations still miss, in one round.
+
+        Called by the engine before blocking obligation resolution so the
+        stall is the *maximum* outstanding transmission latency rather than
+        the sum over predicates — the effect the paper credits for BL3
+        beating BL1/BL2 on Q1 (§7.2).
+        """
+        missing: list[DataKey] = []
+        seen: set[DataKey] = set()
+        self._deliver_due()
+        self._in_blocking_round = True
+        for obligation in run.obligations:
+            for predicate in obligation.predicates:
+                for key in predicate.remote_keys(obligation.env):
+                    if key not in seen and not self._available(key):
+                        seen.add(key)
+                        missing.append(key)
+        if missing:
+            self._staged.update(self._block_for(missing))
+
+    def finish_blocking(self) -> None:
+        """End of a blocking obligation-resolution round: drop staged values."""
+        self._staged.clear()
+        self._round_failed.clear()
+        self._in_blocking_round = False
+
+    def should_block_obligations(self, run: Run) -> bool:
+        """Default: obligations ride until the final state resolves them."""
+        return False
+
+    def decide_postpone(
+        self,
+        transition: Transition,
+        predicate: Predicate,
+        run: Run | None,
+        env: Mapping[str, Event],
+        missing: list[DataKey],
+    ) -> bool:
+        """Default: never postpone — block until the data is fetched."""
+        return False
+
+
+def _evaluate_with(
+    predicate: Predicate,
+    env: Mapping[str, Event],
+    values: dict,
+    failure_mode: str | None = None,
+) -> bool:
+    """Evaluate a predicate against a pre-collected value snapshot.
+
+    A key absent from ``values`` after a blocking round means its fetch
+    terminally failed; ``failure_mode`` then decides the predicate
+    (fail-open: true, fail-closed: false).  Without a failure mode the
+    unavailability propagates — on a healthy network it indicates a bug.
+    """
+
+    def resolver(key):
+        try:
+            return values[key]
+        except KeyError:
+            raise RemoteDataUnavailable(key) from None
+
+    try:
+        return predicate.evaluate(env, resolver)
+    except RemoteDataUnavailable:
+        if failure_mode == FAIL_OPEN:
+            return True
+        if failure_mode == FAIL_CLOSED:
+            return False
+        raise

@@ -1,0 +1,233 @@
+"""Tests for the unified runtime layer (builder, sessions, dispatch).
+
+Single- and multi-query evaluation share one composition root
+(:class:`repro.runtime.RuntimeBuilder`) and one dispatch loop
+(:func:`repro.runtime.dispatch.dispatch`); these tests pin down the parity
+that refactor promises: multi-query runs get the full fault-tolerance,
+tracing, and metrics plumbing of single-query runs, and observability never
+changes results.
+"""
+
+import pytest
+
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.core.multi import MultiQueryEIRES, QuerySpec
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import MemorySink, Tracer
+from repro.obs.validate import validate_chrome_trace
+from repro.query.parser import parse_query
+from repro.remote.store import RemoteStore
+from repro.remote.transport import TRANSPORT_COUNTER_KEYS, FixedLatency, UniformLatency
+from repro.runtime.builder import CACHE_ALWAYS, RuntimeBuilder
+from repro.runtime.session import QuerySpec as RuntimeQuerySpec
+
+from tests.helpers import random_stream
+
+
+def two_queries():
+    q_ab = parse_query(
+        "SEQ(A a, B b) WHERE SAME[id] AND b.v IN REMOTE[a.v] WITHIN 2000",
+        name="ab",
+    )
+    q_ac = parse_query(
+        "SEQ(A a, C c) WHERE SAME[id] AND c.v IN REMOTE[a.v] WITHIN 2000",
+        name="ac",
+    )
+    store = RemoteStore()
+    store.register_source("v", lambda key: frozenset(range(5)))
+    return q_ab, q_ac, store
+
+
+def build_multi(config=None, tracer=None, strategies=("Hybrid", "Hybrid")):
+    q_ab, q_ac, store = two_queries()
+    return MultiQueryEIRES(
+        [QuerySpec(q_ab, strategy=strategies[0]),
+         QuerySpec(q_ac, strategy=strategies[1])],
+        store, FixedLatency(20.0),
+        config=config if config is not None else EiresConfig(cache_capacity=50),
+        tracer=tracer,
+    )
+
+
+class TestBuilder:
+    def test_builder_is_the_facade_path(self):
+        # Both facades expose the Runtime the builder assembled.
+        q_ab, _, store = two_queries()
+        single = EIRES(q_ab, store, FixedLatency(20.0))
+        multi = build_multi()
+        for facade in (single, multi):
+            assert facade.runtime.transport is facade.transport
+            assert facade.runtime.clock is facade.clock
+            assert facade.runtime.metrics is facade.metrics
+
+    def test_direct_builder_matches_facade(self):
+        q_ab, _, store = two_queries()
+        stream = random_stream(200, seed=3)
+        config = EiresConfig(cache_capacity=50)
+        direct = (
+            RuntimeBuilder(store, FixedLatency(20.0), config=config)
+            .add_query(q_ab, strategy="Hybrid")
+            .build()
+            .run(stream)["ab"]
+        )
+        facade = EIRES(q_ab, store, FixedLatency(20.0), config=config).run(stream)
+        assert direct.match_signatures() == facade.match_signatures()
+        assert direct.summary() == facade.summary()
+
+    def test_requires_queries(self):
+        _, _, store = two_queries()
+        with pytest.raises(ValueError, match="at least one"):
+            RuntimeBuilder(store, FixedLatency(10.0)).build()
+
+    def test_rejects_unknown_cache_mode(self):
+        _, _, store = two_queries()
+        with pytest.raises(ValueError, match="cache mode"):
+            RuntimeBuilder(store, FixedLatency(10.0), cache_mode="sometimes")
+
+    def test_rejects_unknown_backend(self):
+        q_ab, _, _ = two_queries()
+        with pytest.raises(ValueError, match="unknown backend"):
+            RuntimeQuerySpec(q_ab, backend="quantum")
+
+    def test_strategy_instance_accepted(self):
+        from repro.strategies import make_strategy
+
+        q_ab, _, store = two_queries()
+        strategy = make_strategy("LzEval")
+        runtime = (
+            RuntimeBuilder(store, FixedLatency(20.0))
+            .add_query(q_ab, strategy=strategy)
+            .build()
+        )
+        assert runtime.sessions[0].strategy is strategy
+
+    def test_sessions_sorted_by_priority(self):
+        q_ab, q_ac, store = two_queries()
+        runtime = (
+            RuntimeBuilder(store, FixedLatency(20.0), cache_mode=CACHE_ALWAYS)
+            .add_query(q_ab, priority=1.0)
+            .add_query(q_ac, priority=5.0)
+            .build()
+        )
+        assert [session.name for session in runtime.sessions] == ["ac", "ab"]
+        assert runtime.session("ab").priority == 1.0
+        with pytest.raises(KeyError):
+            runtime.session("missing")
+
+
+class TestMultiQueryFaultParity:
+    """Multi-query runs ride the same fault substrate as single-query runs."""
+
+    def test_transport_stats_cover_all_counters(self):
+        results = build_multi().run(random_stream(150, seed=3))
+        for result in results.values():
+            assert set(result.transport_stats) == set(TRANSPORT_COUNTER_KEYS)
+
+    def test_fault_profile_degrades_gracefully(self):
+        config = EiresConfig(cache_capacity=50, fault_profile="drop:0.3", seed=11)
+        results = build_multi(config=config).run(random_stream(300, seed=5))
+        stats = [result.transport_stats for result in results.values()]
+        # The shared transport saw faults: retries happened (and are shared
+        # across the per-query views of the same transport) ...
+        assert all(s["retries"] > 0 for s in stats)
+        # ... and every query still completed its replay with results.
+        assert sum(r.match_count for r in results.values()) > 0
+
+    def test_retry_policy_honored(self):
+        # With max_attempts=1 the transport may fail but can never retry.
+        stream = random_stream(300, seed=5)
+        no_retry = EiresConfig(
+            cache_capacity=50, fault_profile="drop:0.3",
+            retry_max_attempts=1, breaker_enabled=False, seed=11,
+        )
+        results = build_multi(config=no_retry).run(stream)
+        first = next(iter(results.values()))
+        assert first.transport_stats["retries"] == 0
+        assert first.transport_stats["failed_fetches"] > 0
+
+        retrying = EiresConfig(
+            cache_capacity=50, fault_profile="drop:0.3",
+            retry_max_attempts=5, breaker_enabled=False, seed=11,
+        )
+        results = build_multi(config=retrying).run(stream)
+        first = next(iter(results.values()))
+        assert first.transport_stats["retries"] > 0
+
+
+class TestMultiQueryTracing:
+    """Multi-query runs are traceable and observability never changes results."""
+
+    def test_traced_multi_run_produces_valid_trace(self, tmp_path):
+        sink = MemorySink()
+        runtime = build_multi(tracer=Tracer(sink, track="multi"))
+        results = runtime.run(random_stream(250, seed=9))
+        assert all(result.match_count > 0 for result in results.values())
+
+        path = tmp_path / "multi.trace.json"
+        write_chrome_trace(sink.records, str(path))
+        counts = validate_chrome_trace(str(path), require_categories=False)
+        for category in ("event", "fetch", "match", "cache", "run"):
+            assert counts[category] > 0, f"no {category} records in multi-query trace"
+
+    def test_match_records_name_their_query(self):
+        sink = MemorySink()
+        runtime = build_multi(tracer=Tracer(sink, track="multi"))
+        runtime.run(random_stream(250, seed=9))
+        emitted = {record["query"] for record in sink.by_category("match")}
+        assert emitted == {"ab", "ac"}
+
+    def test_results_identical_with_tracing_on_and_off(self):
+        stream = random_stream(250, seed=9)
+        config = EiresConfig(cache_capacity=50, fault_profile="drop:0.1", seed=7)
+        plain = build_multi(config=config).run(stream)
+        traced = build_multi(config=config, tracer=Tracer(MemorySink(), track="T")).run(stream)
+        assert set(plain) == set(traced)
+        for name in plain:
+            assert plain[name].match_signatures() == traced[name].match_signatures()
+            assert plain[name].latency_percentiles() == traced[name].latency_percentiles()
+            assert plain[name].transport_stats == traced[name].transport_stats
+            assert plain[name].strategy_stats == traced[name].strategy_stats
+
+    def test_metrics_snapshot_covers_every_query(self):
+        results = build_multi().run(random_stream(200, seed=3))
+        for result in results.values():
+            assert result.metrics is not None
+            names = set(result.metrics)
+            # Per-session counters are namespaced on the shared registry and
+            # every result carries the full shared snapshot.
+            assert any(name.startswith("query.ab.fetch.") for name in names)
+            assert any(name.startswith("query.ac.fetch.") for name in names)
+            assert any(name.startswith("transport.") for name in names)
+
+
+class TestThroughputScope:
+    def test_multi_query_meter_is_shared_and_labelled(self):
+        results = build_multi().run(random_stream(200, seed=3))
+        meters = [result.throughput for result in results.values()]
+        assert meters[0] is meters[1]
+        for result in results.values():
+            assert result.throughput_scope == "shared"
+            assert result.summary()["throughput_scope"] == "shared"
+
+    def test_single_query_meter_is_run_scoped(self):
+        q_ab, _, store = two_queries()
+        result = EIRES(q_ab, store, FixedLatency(20.0)).run(random_stream(150, seed=3))
+        assert result.throughput_scope == "run"
+        assert "throughput_scope" not in result.summary()
+
+
+class TestSingleMultiParity:
+    def test_multi_with_one_query_equals_single(self):
+        # A one-query MultiQueryEIRES and EIRES are the same assembly modulo
+        # the always-on shared cache, so results must coincide exactly.
+        q_ab, _, store = two_queries()
+        stream = random_stream(250, seed=9)
+        config = EiresConfig(cache_capacity=50)
+        single = EIRES(q_ab, store, UniformLatency(10.0, 80.0), config=config).run(stream)
+        multi = MultiQueryEIRES(
+            [QuerySpec(q_ab)], store, UniformLatency(10.0, 80.0), config=config
+        ).run(stream)["ab"]
+        assert single.match_signatures() == multi.match_signatures()
+        assert single.latency_percentiles() == multi.latency_percentiles()
+        assert single.transport_stats == multi.transport_stats
