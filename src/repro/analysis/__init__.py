@@ -1,0 +1,35 @@
+"""repro.analysis — plugin-based static analysis for the reproduction.
+
+Enforces, by construction and on every push, the invariants the test suite
+can only spot-check: virtual-time discipline (no wall clock), the seeded
+RNG tree (no stray randomness), deterministic iteration in decision code,
+tolerance-guarded float gates, registered trace/metric names, and the
+runtime-layer architecture.  See ``docs/static_analysis.md`` for the rule
+catalogue and ``python -m repro.analysis --explain RULE`` for any rule's
+rationale.
+"""
+
+from repro.analysis.core import (
+    AnalysisResult,
+    Finding,
+    Rule,
+    all_rules,
+    analyze,
+    analyze_index,
+    get_rule,
+    register,
+)
+from repro.analysis.index import Module, ModuleIndex
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze",
+    "analyze_index",
+    "get_rule",
+    "register",
+    "Module",
+    "ModuleIndex",
+]

@@ -1,0 +1,54 @@
+"""The committed findings baseline.
+
+A baseline records *accepted* pre-existing findings by line-independent
+fingerprint so the analysis can be turned on strict for new code while a
+legacy violation is being worked off.  The repo ships an **empty** baseline
+(``tools/analysis_baseline.json``) — the tree is clean — and CI runs
+against it; any new finding therefore fails the build.
+
+Workflow::
+
+    python -m repro.analysis src benchmarks --write-baseline   # accept debt
+    python -m repro.analysis src benchmarks                    # strict run
+
+Fingerprints hash the rule ID, the package/scan-relative path, and the
+message — not the line number — so unrelated edits above a baselined
+finding do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline"]
+
+#: Where the committed baseline lives, relative to the repo root (cwd).
+DEFAULT_BASELINE = Path("tools") / "analysis_baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The accepted fingerprints in ``path`` (raises on unknown versions)."""
+    data = json.loads(path.read_text())
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline version in {path}: {data.get('version')!r}")
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialise ``findings`` as the new accepted baseline."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.pkg or finding.rel,
+            "message": finding.message,
+            "fingerprint": finding.fingerprint(),
+        }
+        for finding in sorted(findings, key=lambda f: (f.rule, f.pkg or f.rel, f.message))
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,230 @@
+"""The shared module index: one parse per file, reused by every rule.
+
+A :class:`ModuleIndex` walks the requested paths once, parses every
+``*.py`` file with :mod:`ast`, and precomputes the facts the rule plugins
+need:
+
+* **import records** — every imported module path with its line number;
+* **name bindings** — a per-module symbol table mapping local names to the
+  dotted origin they were imported from (``import numpy as np`` binds
+  ``np -> numpy``; ``from repro.obs.trace import CAT_FETCH`` binds
+  ``CAT_FETCH -> repro.obs.trace.CAT_FETCH``), so rules can resolve
+  attribute chains like ``np.random.rand`` without re-walking imports;
+* **call records** — every call site whose target resolves through the
+  bindings to a dotted name, plus the bare class-name constructor calls the
+  architecture rules consume;
+* **string-tuple constants** — simple module-level assignments of strings
+  and tuples of strings (the registered counter-key tables), exposed so
+  rules can reason about the declared constant tables.
+
+Package-relative paths drive rule scoping (``sim/``-only wall clock,
+``strategies/``-only iteration discipline): a module's ``pkg`` is its path
+relative to the ``repro`` package root.  The root is either passed
+explicitly (``package_root`` — the architecture shim scans scratch trees
+laid out *as* a package) or auto-detected from a ``repro`` directory
+component in the file's path.  Files outside any package (``benchmarks/``)
+carry ``pkg=None`` and are still scanned by the unscoped rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["Module", "ModuleIndex", "resolve_call_target", "dotted_chain"]
+
+
+def dotted_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def resolve_call_target(node: ast.AST, bindings: dict[str, str]) -> str | None:
+    """The dotted origin of a call target, resolved through the bindings.
+
+    ``perf_counter()`` with ``from time import perf_counter`` resolves to
+    ``time.perf_counter``; ``np.random.rand(...)`` with ``import numpy as
+    np`` resolves to ``numpy.random.rand``.  Calls on local objects
+    (``rng.random()``) resolve to None — their base name is not an import.
+    """
+    parts = dotted_chain(node)
+    if parts is None:
+        return None
+    origin = bindings.get(parts[0])
+    if origin is None:
+        return None
+    return ".".join([origin, *parts[1:]]) if len(parts) > 1 else origin
+
+
+def _string_tuple(node: ast.AST):
+    """The value of a str / tuple-of-str literal expression, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Tuple):
+        items = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                items.append(element.value)
+            else:
+                return None
+        return tuple(items)
+    return None
+
+
+class Module:
+    """One parsed source file plus the precomputed facts rules consume."""
+
+    __slots__ = (
+        "path", "rel", "pkg", "source", "lines", "tree", "syntax_error",
+        "imports", "bindings", "calls", "constructed", "constants",
+    )
+
+    def __init__(self, path: Path, rel: str, pkg: str | None) -> None:
+        self.path = path
+        self.rel = rel
+        self.pkg = pkg
+        self.source = path.read_text()
+        self.lines = self.source.splitlines()
+        self.syntax_error: str | None = None
+        # (module path, line) for every import statement.
+        self.imports: list[tuple[str, int]] = []
+        # local name -> dotted origin.
+        self.bindings: dict[str, str] = {}
+        # (resolved dotted target, line) for calls whose base is an import.
+        self.calls: list[tuple[str, int]] = []
+        # (bare class-ish name, line) for C(...) and m.C(...) calls.
+        self.constructed: list[tuple[str, int]] = []
+        # module-level NAME = "str" | ("str", ...) assignments.
+        self.constants: dict[str, str | tuple[str, ...]] = {}
+        try:
+            self.tree: ast.Module | None = ast.parse(self.source, filename=str(path))
+        except SyntaxError as error:
+            self.tree = None
+            self.syntax_error = f"{error.lineno}: {error.msg}"
+            return
+        self._scan()
+
+    def _scan(self) -> None:
+        assert self.tree is not None
+        for node in self.tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    literal = _string_tuple(value)
+                    if literal is not None:
+                        self.constants[target.id] = literal
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports.append((alias.name, node.lineno))
+                    if alias.asname is not None:
+                        self.bindings[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; chains resolve onward.
+                        self.bindings[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                self.imports.append((node.module, node.lineno))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname if alias.asname is not None else alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.Call):
+                resolved = resolve_call_target(node.func, self.bindings)
+                if resolved is not None:
+                    self.calls.append((resolved, node.lineno))
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name is not None:
+                    self.constructed.append((name, node.lineno))
+
+    @property
+    def pkg_top(self) -> str | None:
+        """The top-level package directory (``"engine"`` for engine/tree.py)."""
+        if self.pkg is None or "/" not in self.pkg:
+            return None
+        return self.pkg.split("/", 1)[0]
+
+
+def _package_path(path: Path, package_root: Path | None) -> str | None:
+    if package_root is not None:
+        try:
+            return path.resolve().relative_to(package_root.resolve()).as_posix()
+        except ValueError:
+            return None
+    parts = path.resolve().parts
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    inner = parts[anchor + 1:]
+    return "/".join(inner) if inner else None
+
+
+def discover(paths: Iterable[Path]) -> Iterator[tuple[Path, str]]:
+    """All ``*.py`` files under ``paths`` with scan-root-relative names."""
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            yield root, root.name
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path, path.relative_to(root).as_posix()
+
+
+class ModuleIndex:
+    """Every scanned module, parsed once, in deterministic (sorted) order."""
+
+    def __init__(self, paths: Iterable[Path | str], package_root: Path | str | None = None) -> None:
+        self.package_root = Path(package_root) if package_root is not None else None
+        self.modules: list[Module] = []
+        seen: set[Path] = set()
+        for path, rel in discover(Path(p) for p in paths):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            self.modules.append(Module(path, rel, _package_path(path, self.package_root)))
+        self.modules.sort(key=lambda module: module.rel)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def import_graph(self) -> dict[str, list[str]]:
+        """Scanned module -> the ``repro.*`` modules it imports (sorted)."""
+        graph: dict[str, list[str]] = {}
+        for module in self.modules:
+            repro_imports = sorted(
+                {name for name, _ in module.imports
+                 if name == "repro" or name.startswith("repro.")}
+            )
+            graph[module.rel] = repro_imports
+        return graph
+
+    def constant_table(self, name: str) -> tuple[str, ...] | None:
+        """A registered string-tuple constant, looked up across the index."""
+        for module in self.modules:
+            value = module.constants.get(name)
+            if isinstance(value, tuple):
+                return value
+        return None

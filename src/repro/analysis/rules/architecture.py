@@ -1,0 +1,114 @@
+"""A1–A3: the runtime-layer architecture rules (legacy R1–R3).
+
+Migrated from ``tools/check_architecture.py`` (which is now a thin shim
+over this module).  The finding messages deliberately keep the legacy
+``R1``/``R2``/``R3`` wording so CI logs and the architecture test suite
+read the same before and after the migration.
+
+These rules only apply to modules *inside* the repro package (or a scratch
+tree scanned with an explicit package root): benchmarks and scripts live
+above the architecture and receive their runtime through the facades.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.index import Module, ModuleIndex
+
+__all__ = ["EngineLayeringRule", "CompositionRootRule", "ShadowAssemblyRule"]
+
+# A1 (R1): packages of the evaluation core, and the prefixes they must not
+# import.
+CORE_PACKAGES = ("engine", "nfa")
+FORBIDDEN_FOR_CORE = ("repro.strategies", "repro.core", "repro.runtime")
+
+# A2/A3 (R2/R3): substrate constructors, by group.
+SUBSTRATE_GROUPS = {
+    "Transport": "transport",
+    "LRUCache": "cache",
+    "CostBasedCache": "cache",
+    "Tracer": "tracer",
+}
+ROOT_ONLY = {"Transport", "LRUCache", "CostBasedCache"}
+DEFINING_MODULES = {
+    "Transport": ("remote/transport.py",),
+    "LRUCache": ("cache/lru.py",),
+    "CostBasedCache": ("cache/cost_based.py",),
+    "Tracer": ("obs/trace.py",),
+}
+COMPOSITION_ROOT = "runtime/"
+
+
+@register
+class EngineLayeringRule(Rule):
+    id = "A1"
+    title = "engine layering: the evaluation core imports nothing above it"
+    explain = """\
+(Legacy R1.)  The evaluation core — repro.engine and repro.nfa — sits below
+the strategy and assembly layers: it may not import repro.strategies,
+repro.core, or repro.runtime.  Strategies see engines through the
+FetchDecision callback interface, never the other way round; an upward
+import would let evaluation semantics depend on which strategy or facade is
+loaded."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        if module.pkg is None or module.pkg_top not in CORE_PACKAGES:
+            return
+        for name, line in module.imports:
+            if any(name == bad or name.startswith(bad + ".") for bad in FORBIDDEN_FOR_CORE):
+                yield self.finding(
+                    module, line, f"R1 layering: core package imports {name}"
+                )
+
+
+@register
+class CompositionRootRule(Rule):
+    id = "A2"
+    title = "composition root: substrate classes built only in repro.runtime"
+    explain = """\
+(Legacy R2.)  Only repro.runtime (and the defining modules themselves) may
+construct the shared substrate classes Transport, LRUCache, and
+CostBasedCache.  Everything else — facades, CLI, benchmarks — receives an
+assembled runtime from RuntimeBuilder, so fault tolerance, tracing, and
+metrics wiring cannot silently diverge between entry points."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        pkg = module.pkg
+        if pkg is None or pkg.startswith(COMPOSITION_ROOT):
+            return
+        for name, line in module.constructed:
+            if name in ROOT_ONLY and pkg not in DEFINING_MODULES[name]:
+                yield self.finding(
+                    module, line,
+                    f"R2 composition root: constructs {name} outside repro.runtime",
+                )
+
+
+@register
+class ShadowAssemblyRule(Rule):
+    id = "A3"
+    title = "no shadow assembly: one module wires at most one substrate group"
+    explain = """\
+(Legacy R3.)  Outside repro.runtime, no module may construct classes from
+two or more substrate groups (transport / cache / tracer) in one place:
+wiring them together is the composition root's job.  Constructing a Tracer
+alone is fine — callers build tracers and hand them INTO the builder."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        pkg = module.pkg
+        if pkg is None or pkg.startswith(COMPOSITION_ROOT):
+            return
+        groups: dict[str, tuple[str, int]] = {}
+        for name, line in module.constructed:
+            if name not in SUBSTRATE_GROUPS or pkg in DEFINING_MODULES.get(name, ()):
+                continue
+            groups.setdefault(SUBSTRATE_GROUPS[name], (name, line))
+        if len(groups) >= 2:
+            built = ", ".join(sorted(name for name, _ in groups.values()))
+            line = min(line for _, line in groups.values())
+            yield self.finding(
+                module, line,
+                f"R3 shadow assembly: constructs {built} together outside repro.runtime",
+            )

@@ -40,6 +40,7 @@ from typing import Callable
 
 from repro.cache.base import Cache
 from repro.remote.element import DataKey
+from repro.sim.rng import make_rng
 
 __all__ = ["CostBasedCache"]
 
@@ -98,7 +99,7 @@ class CostBasedCache(Cache):
         if sample_size < 1:
             raise ValueError(f"sample size must be >= 1: {sample_size}")
         self._utility_fn = utility_fn
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._sample_size = sample_size
         self._tiers: dict[int, _SampledSet] = {
             self.TIER_CERTAIN: _SampledSet(),

@@ -1,0 +1,7 @@
+# eires-fixture: place=engine/rogue.py
+"""The evaluation core importing the strategy layer — A1 (R1) flags."""
+from repro.strategies.base import FetchStrategy
+
+
+def shortcut(strategy: FetchStrategy) -> None:
+    pass

@@ -1,0 +1,7 @@
+# eires-fixture: place=engine/clean.py
+"""The core may import sideways and downwards (nfa, events, sim)."""
+from repro.nfa.run import Run
+
+
+def touch(run: Run) -> None:
+    pass

@@ -1,0 +1,5 @@
+# eires-fixture: place=core/rogue.py
+"""Substrate construction outside repro.runtime — A2 (R2) flags."""
+from repro.cache.lru import LRUCache
+
+cache = LRUCache(100)

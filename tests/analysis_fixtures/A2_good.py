@@ -1,0 +1,7 @@
+# eires-fixture: place=runtime/extra_builder.py
+"""The composition root may build every substrate class."""
+from repro.cache.lru import LRUCache
+from repro.remote.transport import Transport
+
+cache = LRUCache(100)
+transport = Transport(store, latency, rng, monitor)

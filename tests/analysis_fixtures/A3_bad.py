@@ -1,0 +1,5 @@
+# eires-fixture: place=cli_rogue.py
+"""Wiring two substrate groups together outside runtime — A3 (R3) flags."""
+
+tracer = Tracer(sink)
+transport = Transport(store, latency, rng, monitor)

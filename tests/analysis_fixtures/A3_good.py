@@ -1,0 +1,4 @@
+# eires-fixture: place=cli_clean.py
+"""Constructing a Tracer alone is fine: callers hand tracers INTO the builder."""
+
+tracer = Tracer(sink, track="Hybrid")

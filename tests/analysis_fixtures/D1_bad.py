@@ -1,0 +1,7 @@
+# eires-fixture: place=strategies/rogue_clock.py
+"""Reads the host wall clock from strategy code — D1 must flag it."""
+import time
+
+
+def decide(now_virtual: float) -> float:
+    return time.time() - now_virtual

@@ -1,0 +1,7 @@
+# eires-fixture: place=sim/stopwatch.py
+"""sim/ implements the time substrate, so wall-clock reads are allowed."""
+import time
+
+
+def wall_elapsed(start: float) -> float:
+    return time.perf_counter() - start

@@ -1,0 +1,11 @@
+# eires-fixture: place=strategies/rogue_rng.py
+"""Draws from the global random module — D2 must flag it."""
+import random
+
+
+def jitter(base: float) -> float:
+    return base * random.random()
+
+
+def fresh_generator(seed: int):
+    return random.Random(seed)

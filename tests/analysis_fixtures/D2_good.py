@@ -1,0 +1,7 @@
+# eires-fixture: place=strategies/clean_rng.py
+"""Annotating with random.Random and drawing from an injected rng is fine."""
+import random
+
+
+def jitter(base: float, rng: random.Random) -> float:
+    return base * rng.random()

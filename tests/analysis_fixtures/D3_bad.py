@@ -1,0 +1,11 @@
+# eires-fixture: place=cache/rogue_iter.py
+"""Iterates an unsorted dict view and a set in decision code — D3 flags."""
+
+
+def pick_victims(utilities: dict, resident: set) -> list:
+    victims = []
+    for key, utility in utilities.items():
+        if utility <= 0:
+            victims.append(key)
+    extra = [key for key in set(resident)]
+    return victims + extra

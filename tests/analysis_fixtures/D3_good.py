@@ -1,0 +1,11 @@
+# eires-fixture: place=cache/clean_iter.py
+"""sorted(...) around views and sets keeps decision order deterministic."""
+
+
+def pick_victims(utilities: dict, resident: set) -> list:
+    victims = []
+    for key, utility in sorted(utilities.items()):
+        if utility <= 0:
+            victims.append(key)
+    extra = [key for key in sorted(resident)]
+    return victims + extra

@@ -1,0 +1,8 @@
+# eires-fixture: place=strategies/prefetch.py
+"""Exact float equality on an Eq. 7 gate expression — D4 must flag it."""
+
+
+def admit(candidate: float, cache) -> bool:
+    if candidate == cache.min_utility():
+        return False
+    return candidate != 0.0

@@ -1,0 +1,11 @@
+# eires-fixture: place=strategies/prefetch.py
+"""Ordering comparisons and explicit tolerances pass D4."""
+
+_EPS = 1e-9
+
+
+def admit(candidate: float, cache) -> bool:
+    minimum = cache.min_utility()
+    if abs(candidate - minimum) <= _EPS:
+        return False
+    return candidate > minimum

@@ -1,0 +1,8 @@
+# eires-fixture: place=strategies/rogue_trace.py
+"""Stray string literals at emission sites — M1 must flag both."""
+
+
+def instrument(tracer, registry, now: float) -> None:
+    if tracer.enabled:
+        tracer.emit("fetch", "issue", now)
+    registry.counter("fetch.retries").inc()

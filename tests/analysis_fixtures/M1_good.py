@@ -1,0 +1,11 @@
+# eires-fixture: place=strategies/clean_trace.py
+"""Categories from CAT_* constants, metric names from the key tables."""
+from repro.obs.trace import CAT_FETCH
+from repro.strategies.stats import STRATEGY_COUNTER_KEYS
+
+
+def instrument(tracer, registry, now: float) -> None:
+    if tracer.enabled:
+        tracer.emit(CAT_FETCH, "issue", now)
+    for key in STRATEGY_COUNTER_KEYS:
+        registry.counter(f"fetch.{key}")

@@ -1,0 +1,7 @@
+# eires-fixture: place=strategies/rogue_guard.py
+"""emit() without the enabled guard — M2 must flag it."""
+from repro.obs.trace import CAT_FETCH
+
+
+def instrument(tracer, now: float) -> None:
+    tracer.emit(CAT_FETCH, "issue", now)

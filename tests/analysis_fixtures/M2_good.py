@@ -1,0 +1,8 @@
+# eires-fixture: place=strategies/clean_guard.py
+"""The documented guard pattern: one attribute read on the disabled path."""
+from repro.obs.trace import CAT_FETCH
+
+
+def instrument(tracer, now: float) -> None:
+    if tracer.enabled:
+        tracer.emit(CAT_FETCH, "issue", now)

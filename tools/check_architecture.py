@@ -1,145 +1,50 @@
 #!/usr/bin/env python
-"""Import-architecture linter for the unified runtime layer.
+"""Import-architecture linter — now a thin shim over ``repro.analysis``.
 
-The refactor that introduced :mod:`repro.runtime` comes with two structural
-guarantees, and this script keeps them true by construction:
-
-**R1 — engine layering.**  The evaluation core (``repro.engine``,
-``repro.nfa``) is below the strategy and assembly layers: it may not import
-``repro.strategies``, ``repro.core``, or ``repro.runtime``.  Strategies see
-engines through :class:`repro.engine.interface.FetchDecision` callbacks,
-never the other way round.
-
-**R2 — one composition root.**  Only ``repro.runtime`` (and the defining
-modules themselves) may construct the shared substrate classes
-``Transport``, ``LRUCache``, and ``CostBasedCache``.  Everything else —
-facades, CLI, benchmarks — receives an assembled runtime.
-
-**R3 — no shadow assembly.**  Outside ``repro.runtime``, no module may
-construct classes from two or more substrate groups (transport / cache /
-tracer) in one place; wiring them together is the composition root's job.
-(Constructing a :class:`~repro.obs.trace.Tracer` alone is fine — callers
-hand tracers *into* the builder.)
+The R1–R3 rules this script introduced (engine layering, composition-root-
+only substrate construction, no shadow assembly) live on as rules A1–A3 of
+the plugin-based static-analysis framework in :mod:`repro.analysis`; run
+``python -m repro.analysis --explain A1`` (A2, A3) for their rationale.
+This entry point keeps the historical CLI and the ``check_tree`` API so
+existing CI invocations and ``tests/test_architecture.py`` work unchanged.
 
 Usage::
 
     python tools/check_architecture.py [--root src/repro]
 
 Exits 0 when the architecture holds, 1 with one line per violation
-otherwise.  Run by CI on every push; ``tests/test_architecture.py`` also
-seeds deliberate violations into a scratch tree to prove the checker would
-catch a regression.
+otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
 
-# R1: packages of the evaluation core, and the prefixes they must not import.
-CORE_PACKAGES = ("engine", "nfa")
-FORBIDDEN_FOR_CORE = ("repro.strategies", "repro.core", "repro.runtime")
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-# R2/R3: substrate constructors, by group.  A module's group set is the set
-# of groups it constructs (ast.Call on the class name).
-SUBSTRATE_GROUPS = {
-    "Transport": "transport",
-    "LRUCache": "cache",
-    "CostBasedCache": "cache",
-    "Tracer": "tracer",
-}
-# Classes that only the composition root (or the defining module) may build.
-ROOT_ONLY = {"Transport", "LRUCache", "CostBasedCache"}
-# Modules that define (or re-export next to the definition of) a substrate
-# class are allowed to reference their own constructors.
-DEFINING_MODULES = {
-    "Transport": ("remote/transport.py",),
-    "LRUCache": ("cache/lru.py",),
-    "CostBasedCache": ("cache/cost_based.py",),
-    "Tracer": ("obs/trace.py",),
-}
-COMPOSITION_ROOT = "runtime/"
+from repro.analysis import ModuleIndex, analyze_index  # noqa: E402
 
-
-def iter_modules(root: Path):
-    for path in sorted(root.rglob("*.py")):
-        yield path, path.relative_to(root).as_posix()
-
-
-def imported_names(tree: ast.AST) -> list[tuple[str, int]]:
-    """Every imported module path in ``tree``, with its line number."""
-    found = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            found.extend((alias.name, node.lineno) for alias in node.names)
-        elif isinstance(node, ast.ImportFrom) and node.module:
-            found.append((node.module, node.lineno))
-    return found
-
-
-def constructed_classes(tree: ast.AST) -> list[tuple[str, int]]:
-    """Substrate-class constructor calls in ``tree`` (``C(...)`` or ``m.C(...)``)."""
-    found = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        name = None
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        if name in SUBSTRATE_GROUPS:
-            found.append((name, node.lineno))
-    return found
+#: The framework rules this shim runs (legacy names R1, R2, R3).
+ARCHITECTURE_RULES = ("A1", "A2", "A3")
 
 
 def check_tree(root: Path) -> list[str]:
-    """All architecture violations under ``root`` (a ``repro`` package dir)."""
-    violations: list[str] = []
-    for path, rel in iter_modules(root):
-        try:
-            tree = ast.parse(path.read_text(), filename=str(path))
-        except SyntaxError as error:
-            violations.append(f"{rel}:{error.lineno}: unparseable: {error.msg}")
-            continue
+    """All architecture violations under ``root`` (a ``repro`` package dir).
 
-        # R1: the evaluation core imports nothing from the layers above it.
-        if rel.split("/")[0] in CORE_PACKAGES:
-            for module, lineno in imported_names(tree):
-                if any(module == bad or module.startswith(bad + ".")
-                       for bad in FORBIDDEN_FOR_CORE):
-                    violations.append(
-                        f"{rel}:{lineno}: R1 layering: core package imports {module}"
-                    )
-
-        if rel.startswith(COMPOSITION_ROOT):
-            continue  # the composition root is allowed to build everything
-
-        calls = constructed_classes(tree)
-        # R2: substrate classes are built only in repro.runtime.
-        for name, lineno in calls:
-            if name in ROOT_ONLY and rel not in DEFINING_MODULES[name]:
-                violations.append(
-                    f"{rel}:{lineno}: R2 composition root: constructs {name} "
-                    f"outside repro.runtime"
-                )
-        # R3: no module wires two substrate groups together on its own.
-        groups = {}
-        for name, lineno in calls:
-            if rel in DEFINING_MODULES.get(name, ()):
-                continue
-            groups.setdefault(SUBSTRATE_GROUPS[name], (name, lineno))
-        if len(groups) >= 2:
-            built = ", ".join(sorted(name for name, _ in groups.values()))
-            lineno = min(lineno for _, lineno in groups.values())
-            violations.append(
-                f"{rel}:{lineno}: R3 shadow assembly: constructs {built} together "
-                f"outside repro.runtime"
-            )
-    return violations
+    Returns legacy-format strings — ``<pkg-path>:<line>: R1 layering: ...``
+    — produced by rules A1–A3 of :mod:`repro.analysis` run with ``root`` as
+    the package root.
+    """
+    index = ModuleIndex([root], package_root=root)
+    result = analyze_index(index, ARCHITECTURE_RULES)
+    return [
+        f"{finding.pkg or finding.rel}:{finding.line}: {finding.message}"
+        for finding in result.findings
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         for line in violations:
             print(f"  {line}")
         return 1
-    count = sum(1 for _ in iter_modules(root))
+    count = len(ModuleIndex([root], package_root=root))
     print(f"architecture OK: {count} modules, rules R1-R3 hold")
     return 0
 
