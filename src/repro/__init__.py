@@ -32,8 +32,14 @@ from repro.events.event import Event, EventSchema
 from repro.events.stream import Stream
 from repro.query.ast import EventAtom, OrPattern, Query, SeqPattern, Window
 from repro.query.parser import parse_pattern, parse_query
+from repro.remote.batching import BatchStats
 from repro.remote.store import RemoteStore
-from repro.remote.transport import FixedLatency, PerSourceLatency, UniformLatency
+from repro.remote.transport import (
+    FetchRequest,
+    FixedLatency,
+    PerSourceLatency,
+    UniformLatency,
+)
 from repro.strategies import STRATEGIES, make_strategy
 
 __version__ = "1.0.0"
@@ -60,6 +66,8 @@ __all__ = [
     "parse_query",
     "parse_pattern",
     "RemoteStore",
+    "FetchRequest",
+    "BatchStats",
     "FixedLatency",
     "UniformLatency",
     "PerSourceLatency",

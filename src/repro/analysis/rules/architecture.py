@@ -17,7 +17,12 @@ from typing import Iterator
 from repro.analysis.core import Finding, Rule, register
 from repro.analysis.index import Module, ModuleIndex
 
-__all__ = ["EngineLayeringRule", "CompositionRootRule", "ShadowAssemblyRule"]
+__all__ = [
+    "EngineLayeringRule",
+    "CompositionRootRule",
+    "ShadowAssemblyRule",
+    "TransportShimRule",
+]
 
 # A1 (R1): packages of the evaluation core, and the prefixes they must not
 # import.
@@ -39,6 +44,11 @@ DEFINING_MODULES = {
     "Tracer": ("obs/trace.py",),
 }
 COMPOSITION_ROOT = "runtime/"
+
+# A4: the deprecated Transport entry points, callable only inside the
+# remote substrate itself (where the shims are defined and exercised).
+TRANSPORT_SHIMS = ("fetch_blocking", "fetch_async")
+REMOTE_PACKAGE = "remote/"
 
 
 @register
@@ -112,3 +122,28 @@ alone is fine — callers build tracers and hand them INTO the builder."""
                 module, line,
                 f"R3 shadow assembly: constructs {built} together outside repro.runtime",
             )
+
+
+@register
+class TransportShimRule(Rule):
+    id = "A4"
+    title = "no new callers of the deprecated Transport fetch shims"
+    explain = """\
+Transport.fetch_blocking and Transport.fetch_async are deprecated shims
+over the unified submit(FetchRequest) surface; batching, coalescing, and
+retry semantics all hang off submit().  Only repro.remote (where the shims
+live) may call them — everything else, benchmarks included, must build a
+FetchRequest and go through submit(), so new code cannot bypass the batch
+plane or the utility-ranked assembly."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        pkg = module.pkg
+        if pkg is not None and pkg.startswith(REMOTE_PACKAGE):
+            return
+        for name, line in module.constructed:
+            if name in TRANSPORT_SHIMS:
+                yield self.finding(
+                    module, line,
+                    f"deprecated Transport shim {name}() called outside "
+                    "repro.remote; use transport.submit(FetchRequest(...))",
+                )

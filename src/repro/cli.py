@@ -86,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="max fetch attempts incl. the first (default: 3)")
     compare.add_argument("--json", action="store_true",
                          help="emit the per-strategy summary rows as JSON")
+    _add_batching_args(compare)
     _add_observability_args(compare)
 
     trace = subparsers.add_parser(
@@ -97,11 +98,36 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--cache", choices=(CACHE_COST, CACHE_LRU), default=CACHE_COST)
     trace.add_argument("--capacity", type=int, default=None)
     trace.add_argument("--fault-profile", default="none", metavar="PROFILE")
+    _add_batching_args(trace)
     _add_observability_args(trace)
 
     describe = subparsers.add_parser("describe", help="print a workload's automaton")
     describe.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
     return parser
+
+
+def _add_batching_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--batch-window", type=float, default=0.0, metavar="US",
+                           help="batch coalescing window in virtual us "
+                                "(0 disables batching; default: 0)")
+    subparser.add_argument("--batch-max-keys", type=int, default=1, metavar="N",
+                           help="max keys per wire request (1 disables batching; "
+                                "default: 1)")
+    subparser.add_argument("--batch-fixed-latency", type=float, default=40.0,
+                           metavar="US", help="fixed per-wire-request latency "
+                                              "of a batch (default: 40)")
+    subparser.add_argument("--batch-per-key-latency", type=float, default=8.0,
+                           metavar="US", help="per-key marginal latency of a "
+                                              "batch (default: 8)")
+
+
+def _batching_fields(args: argparse.Namespace) -> dict:
+    return {
+        "batch_window": args.batch_window,
+        "batch_max_keys": args.batch_max_keys,
+        "batch_fixed_latency": args.batch_fixed_latency,
+        "batch_per_key_latency": args.batch_per_key_latency,
+    }
 
 
 def _add_observability_args(subparser: argparse.ArgumentParser) -> None:
@@ -131,6 +157,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile,
         failure_mode=args.failure_mode,
         retry_max_attempts=args.retry_attempts,
+        **_batching_fields(args),
     )
     sink = MemorySink() if args.trace_out is not None else None
     rows = []
@@ -170,6 +197,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cache_policy=args.cache,
         cache_capacity=capacity,
         fault_profile=args.fault_profile,
+        **_batching_fields(args),
     )
     sink = MemorySink()
     result = run_strategy(

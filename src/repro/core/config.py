@@ -67,6 +67,16 @@ class EiresConfig:
     failure_mode: str = FAIL_CLOSED
     stale_serve_enabled: bool = True
 
+    # Batched fetch plane: async requests per source coalesce for up to
+    # ``batch_window`` virtual us (at most ``batch_max_keys`` keys) into one
+    # wire request costing ``batch_fixed_latency + n * batch_per_key_latency``.
+    # The defaults disable batching, keeping runs byte-identical to the
+    # single-key substrate.
+    batch_window: float = 0.0
+    batch_max_keys: int = 1
+    batch_fixed_latency: float = 40.0
+    batch_per_key_latency: float = 8.0
+
     # Virtual-time cost model
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -95,6 +105,18 @@ class EiresConfig:
         if not 0.0 < self.breaker_failure_threshold <= 1.0:
             raise ValueError(
                 f"breaker_failure_threshold must be in (0, 1]: {self.breaker_failure_threshold}"
+            )
+        if self.batch_window < 0:
+            raise ValueError(f"batch_window must be non-negative: {self.batch_window}")
+        if self.batch_max_keys < 1:
+            raise ValueError(f"batch_max_keys must be >= 1: {self.batch_max_keys}")
+        if self.batch_fixed_latency < 0:
+            raise ValueError(
+                f"batch_fixed_latency must be non-negative: {self.batch_fixed_latency}"
+            )
+        if self.batch_per_key_latency < 0:
+            raise ValueError(
+                f"batch_per_key_latency must be non-negative: {self.batch_per_key_latency}"
             )
 
     def with_(self, **changes) -> "EiresConfig":

@@ -1,5 +1,6 @@
-"""Remote-data substrate: elements, store, transport, faults, health monitoring."""
+"""Remote-data substrate: elements, store, transport, batching, faults, health monitoring."""
 
+from repro.remote.batching import DISABLED_BATCHING, BatchPolicy, BatchStats
 from repro.remote.element import DataElement, DataKey
 from repro.remote.faults import (
     FAULT_PROFILES,
@@ -26,7 +27,10 @@ from repro.remote.monitor import (
 from repro.remote.retry import RetryPolicy
 from repro.remote.store import MISSING_VALUE, RemoteStore
 from repro.remote.transport import (
+    MODE_ASYNC,
+    MODE_BLOCKING,
     FetchRequest,
+    FetchTicket,
     FixedLatency,
     LatencyModel,
     PerSourceLatency,
@@ -63,5 +67,11 @@ __all__ = [
     "UniformLatency",
     "PerSourceLatency",
     "FetchRequest",
+    "FetchTicket",
+    "MODE_BLOCKING",
+    "MODE_ASYNC",
+    "BatchPolicy",
+    "BatchStats",
+    "DISABLED_BATCHING",
     "Transport",
 ]

@@ -1,20 +1,40 @@
-"""Transmission-latency model, fault injection, and in-flight tracking.
+"""Transmission-latency model, batching, fault injection, and in-flight tracking.
 
 The CEP engine never touches :class:`repro.remote.store.RemoteStore`
 directly; every access goes through a :class:`Transport`, which charges the
-transmission latency ``l_remote(d)`` of §2.1.  Two access modes exist:
+transmission latency ``l_remote(d)`` of §2.1.  All access flows through one
+unified surface — :meth:`Transport.submit` takes a :class:`FetchRequest`
+(what the caller wants: key, mode, utility hint) and returns a
+:class:`FetchTicket` (the outstanding or completed fetch).  Two modes exist:
 
-* **blocking fetch** — the naive integration (BL1/BL2) and the "lazy
-  evaluation not beneficial" branch of Alg. 4 line 15: the engine stalls
-  until the response arrives.
-* **asynchronous fetch** — PFetch prefetches and LzEval fetch-and-postpone:
-  the request is issued at ``now`` and its response materialises at
-  ``now + l_remote(d)``; the pipeline deposits delivered elements into the
-  cache.
+* **blocking** — the naive integration (BL1/BL2) and the "lazy evaluation
+  not beneficial" branch of Alg. 4 line 15: the engine stalls until the
+  response arrives.
+* **async** — PFetch prefetches and LzEval fetch-and-postpone: the request
+  is issued at ``now`` and its response materialises later; the pipeline
+  deposits delivered elements into the cache.
+
+The legacy entry points :meth:`Transport.fetch_blocking` and
+:meth:`Transport.fetch_async` survive as thin deprecated shims over
+``submit``; analysis rule A4 forbids new callers outside ``repro.remote``.
 
 Concurrent requests for the same key are coalesced — blocking and async
-alike: while either kind of request is in flight, a second request for the
-same key joins it instead of issuing a duplicate wire request.
+alike: while either kind of request is in flight (or queued in an open
+batch window), a second request for the same key joins it instead of
+issuing a duplicate wire request.
+
+Batching
+--------
+With a :class:`~repro.remote.batching.BatchPolicy` enabled, async requests
+queue per source in a coalescing window and drain into one multi-key wire
+request costing the amortized ``l_batch = l_fixed + n * l_per`` instead of
+n full round trips (see :mod:`repro.remote.batching`).  A blocking request
+for a queued key closes that source's window immediately — the urgent need
+pays the wire request now.  A failed batch *splits*: every key re-enters
+the normal per-key retry machinery, so one poisoned key cannot terminally
+fail its cohort; circuit breakers observe one outcome per wire request.
+With the default disabled policy every request takes the classic
+single-key path and draws exactly the RNG stream it always did.
 
 Fault tolerance
 ---------------
@@ -37,9 +57,11 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 from repro.obs.registry import Histogram, MetricsRegistry
 from repro.obs.trace import CAT_FETCH, NULL_TRACER, Tracer, trace_key
+from repro.remote.batching import DISABLED_BATCHING, BatchPolicy, BatchQueue, BatchStats
 from repro.remote.element import DataElement, DataKey
 from repro.remote.faults import DROP, ERROR, SLOW, FaultModel
 from repro.remote.monitor import BreakerBoard, LatencyMonitor
@@ -53,11 +75,20 @@ __all__ = [
     "UniformLatency",
     "PerSourceLatency",
     "FetchRequest",
+    "FetchTicket",
     "Transport",
+    "MODE_BLOCKING",
+    "MODE_ASYNC",
     "TRANSPORT_COUNTER_KEYS",
     "TRANSPORT_FAULT_COUNTER_KEYS",
     "TRANSPORT_LATENCY_METRIC",
+    "TRANSPORT_BATCH_KEYS_METRIC",
 ]
+
+# Access modes of a FetchRequest: blocking stalls the engine until the
+# outcome is known; async is issued now and delivered via deliver_due.
+MODE_BLOCKING = "blocking"
+MODE_ASYNC = "async"
 
 # Every counter the transport maintains, in report order; the façade
 # attributes below are views over registry cells named ``transport.<key>``.
@@ -68,16 +99,27 @@ TRANSPORT_COUNTER_KEYS = (
     "retries",
     "failed_fetches",
     "breaker_fastfails",
+    "wire_requests",
+    "batches",
+    "batched_keys",
+    "batch_splits",
 )
 
 # The subset that stays zero on a healthy network; the fault table in
 # ``repro.metrics.reporting`` derives its transport columns from this.
 TRANSPORT_FAULT_COUNTER_KEYS = ("failed_fetches", "breaker_fastfails")
 
-# The transport's one histogram: sampled transmission latencies over the
+# The transport's latency histogram: sampled transmission latencies over the
 # trailing (virtual) second.  Registered here with the counter tables so
 # emission sites never spell metric names inline (rule M1).
 TRANSPORT_LATENCY_METRIC = "transport.latency_us"
+
+# Batch-size histogram: keys per wire request over the trailing second.
+TRANSPORT_BATCH_KEYS_METRIC = "transport.batch_keys_per_wire"
+
+# Arrival time of a ticket still waiting in an open batch window: never, until
+# the window closes and the wire request assigns the real arrival.
+_QUEUED_ARRIVAL = float("inf")
 
 
 class LatencyModel(ABC):
@@ -131,20 +173,45 @@ class PerSourceLatency(LatencyModel):
         return model.sample(key, rng)
 
 
+@dataclass(frozen=True)
 class FetchRequest:
-    """One outstanding (or completed) remote fetch attempt.
+    """One remote-access intent, submitted via :meth:`Transport.submit`.
+
+    ``at`` is the (virtual) submission time; ``mode`` selects blocking or
+    async delivery.  ``utility`` is the caller's ranking hint for batch
+    assembly — Eq. 7 candidate utility for gated prefetches, ``inf`` for
+    certain-use lazy fetches, 0 when unknown.  ``batchable=False`` opts an
+    async request out of the coalescing window (blocking requests are never
+    batched: they close open windows instead).
+    """
+
+    key: DataKey
+    at: float
+    mode: str = MODE_ASYNC
+    utility: float = 0.0
+    batchable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_BLOCKING, MODE_ASYNC):
+            raise ValueError(f"unknown fetch mode {self.mode!r}")
+
+
+class FetchTicket:
+    """One outstanding (or completed) remote fetch.
 
     ``ok`` distinguishes a successful response from a failed one; a failed
-    request carries ``element=None`` and an ``error`` tag (``"error"``,
+    ticket carries ``element=None`` and an ``error`` tag (``"error"``,
     ``"timeout"``, or ``"breaker_open"``) and its ``arrives_at`` is the time
     the *failure becomes known* (the error round trip, or the attempt
     timeout for drops).  ``attempt`` counts from 1; ``first_issued_at``
-    anchors the per-fetch retry deadline.  ``final`` marks a request whose
-    retry budget is spent — it will be delivered as-is.
+    anchors the per-fetch retry deadline.  ``final`` marks a ticket whose
+    retry budget is spent — it will be delivered as-is.  ``queued`` marks a
+    ticket still waiting in an open batch window (its ``arrives_at`` is
+    infinite until the window closes).
     """
 
     __slots__ = ("key", "issued_at", "arrives_at", "element", "ok", "error",
-                 "attempt", "first_issued_at", "final")
+                 "attempt", "first_issued_at", "final", "queued")
 
     def __init__(
         self,
@@ -167,15 +234,21 @@ class FetchRequest:
         self.attempt = attempt
         self.first_issued_at = issued_at if first_issued_at is None else first_issued_at
         self.final = final
+        self.queued = False
 
     @property
     def latency(self) -> float:
         return self.arrives_at - self.issued_at
 
     def __repr__(self) -> str:
-        status = "ok" if self.ok else f"failed:{self.error}"
+        if self.queued:
+            status = "queued"
+        elif self.ok:
+            status = "ok"
+        else:
+            status = f"failed:{self.error}"
         return (
-            f"FetchRequest({self.key!r}, issued={self.issued_at:.1f}, "
+            f"FetchTicket({self.key!r}, issued={self.issued_at:.1f}, "
             f"arrives={self.arrives_at:.1f}, {status}, attempt={self.attempt})"
         )
 
@@ -184,8 +257,9 @@ class Transport:
     """Mediates all remote access, charging transmission latency.
 
     Statistics (``blocking_fetches``, ``async_fetches``, ``coalesced``,
-    ``retries``, ``failed_fetches``, ``breaker_fastfails``) feed the
-    experiment reports.
+    ``retries``, ``failed_fetches``, ``breaker_fastfails``,
+    ``wire_requests``, ``batches``, ``batched_keys``, ``batch_splits``)
+    feed the experiment reports.
     """
 
     def __init__(
@@ -198,6 +272,7 @@ class Transport:
         fault_rng: random.Random | None = None,
         retry_policy: RetryPolicy | None = None,
         breakers: BreakerBoard | None = None,
+        batch_policy: BatchPolicy | None = None,
     ) -> None:
         self._store = store
         self._latency_model = latency_model
@@ -209,9 +284,12 @@ class Transport:
         self._fault_rng = fault_rng if fault_rng is not None else make_rng(0x0FA117)
         self._retry = retry_policy
         self.breakers = breakers
-        self._in_flight: dict[DataKey, FetchRequest] = {}
+        self.batch_policy = batch_policy if batch_policy is not None else DISABLED_BATCHING
+        self._in_flight: dict[DataKey, FetchTicket] = {}
+        self._queues: dict[str, BatchQueue] = {}
         self.tracer: Tracer = NULL_TRACER
         self._latency_hist: Histogram | None = None
+        self._batch_hist: Histogram | None = None
         self._bind_counters(None)
 
     def _bind_counters(self, registry: MetricsRegistry | None) -> None:
@@ -225,6 +303,7 @@ class Transport:
         if registry is not None:
             self._bind_counters(registry)
             self._latency_hist = registry.histogram(TRANSPORT_LATENCY_METRIC, window=1_000_000.0)
+            self._batch_hist = registry.histogram(TRANSPORT_BATCH_KEYS_METRIC, window=1_000_000.0)
         self.tracer = tracer
 
     @property
@@ -235,100 +314,305 @@ class Transport:
     def retry_policy(self) -> RetryPolicy | None:
         return self._retry
 
-    def fetch_blocking(self, key: DataKey, now: float) -> FetchRequest:
-        """Fetch ``key`` synchronously; the caller must stall to ``arrives_at``.
+    # -- the unified request surface -------------------------------------------
+    def submit(self, request: FetchRequest) -> FetchTicket:
+        """Submit one access intent; every mode resolves through here.
+
+        Blocking requests return a ticket with the final outcome (the caller
+        must stall to ``arrives_at`` and deregister via :meth:`complete`);
+        async requests return the pending ticket, delivered later through
+        :meth:`deliver_due`.  Requests for keys already in flight — pending,
+        queued in a batch window, blocking or async alike — coalesce onto
+        the existing ticket instead of issuing a duplicate wire request.
+        """
+        if self._queues:
+            # Windows whose deadline passed while the engine stalled close
+            # before the new request is considered, keeping flush times
+            # independent of *which* call happens to observe the deadline.
+            self._flush_due(request.at)
+        if request.mode == MODE_BLOCKING:
+            return self._submit_blocking(request)
+        return self._submit_async(request)
+
+    def _submit_blocking(self, request: FetchRequest) -> FetchTicket:
+        """Blocking mode: resolve ``key`` to its final outcome at ``at``.
 
         If the same key is already in flight (e.g. a prefetch raced ahead),
-        the pending request is joined so the caller only waits for the
+        the pending ticket is joined so the caller only waits for the
         *remaining* time — issuing a second wire request would be wasteful
-        and would overstate the stall.  A pending request that is doomed to
-        fail is taken over: the blocking caller continues its retry chain
-        synchronously, so the returned request always reflects the final
-        outcome.  The request is registered in flight for the duration of
+        and would overstate the stall.  A key waiting in an open batch
+        window closes that window immediately (the urgent need pays the
+        wire request now).  A pending ticket that is doomed to fail is
+        taken over: the blocking caller continues its retry chain
+        synchronously, so the returned ticket always reflects the final
+        outcome.  The ticket is registered in flight for the duration of
         the stall so that an async fetch issued at the same virtual instant
         coalesces with it (the symmetric twin of the async-first case); the
         caller deregisters it via :meth:`complete` once consumed.
         """
+        key, now = request.key, request.at
         pending = self._in_flight.get(key)
+        if pending is not None and pending.queued:
+            self._flush_source(key[0], now)
+            pending = self._in_flight.get(key)
         if pending is not None:
             self.coalesced += 1
             if pending.ok or pending.final:
                 return pending
-            request = self._retry_to_completion(pending, count_failure=True)
-            self._in_flight[key] = request
-            return request
+            ticket = self._retry_to_completion(pending, count_failure=True)
+            self._in_flight[key] = ticket
+            return ticket
         self.blocking_fetches += 1
-        request = self._retry_to_completion(self._issue(key, now), count_failure=True)
-        self._in_flight[key] = request
-        return request
+        ticket = self._retry_to_completion(self._issue(key, now), count_failure=True)
+        self._in_flight[key] = ticket
+        return ticket
 
-    def fetch_async(self, key: DataKey, now: float) -> FetchRequest:
-        """Issue a non-blocking fetch; response is due at ``arrives_at``."""
+    def _submit_async(self, request: FetchRequest) -> FetchTicket:
+        """Async mode: issue (or enqueue) a non-blocking fetch."""
+        key, now = request.key, request.at
         pending = self._in_flight.get(key)
         if pending is not None:
             self.coalesced += 1
             return pending
         self.async_fetches += 1
-        request = self._issue(key, now)
-        self._in_flight[key] = request
-        return request
+        if (
+            not self.batch_policy.enabled
+            or not request.batchable
+            or (self.breakers is not None and not self.breakers.allow(key[0], now))
+        ):
+            # Single-key path: batching off, opted out, or the breaker is
+            # open (``_issue`` fail-fasts with the usual accounting — an
+            # open breaker's request must not linger in a window).
+            ticket = self._issue(key, now)
+            self._in_flight[key] = ticket
+            return ticket
+        ticket = FetchTicket(
+            key, issued_at=now, arrives_at=_QUEUED_ARRIVAL, element=None,
+            ok=False, error=None, final=False,
+        )
+        ticket.queued = True
+        self._in_flight[key] = ticket
+        source = key[0]
+        queue = self._queues.get(source)
+        if queue is None:
+            queue = self._queues[source] = BatchQueue(
+                source, opened_at=now, window=self.batch_policy.window
+            )
+        queue.add(ticket, request.utility)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CAT_FETCH,
+                "enqueue",
+                now,
+                key=trace_key(key),
+                source=source,
+                deadline=queue.deadline,
+            )
+        if len(queue) >= self.batch_policy.max_keys:
+            self._flush_source(source, now)
+        return ticket
 
-    def in_flight(self, key: DataKey) -> FetchRequest | None:
-        """The pending request for ``key``, if any."""
+    # -- deprecated shims ------------------------------------------------------
+    def fetch_blocking(self, key: DataKey, now: float) -> FetchTicket:
+        """Deprecated shim: ``submit(FetchRequest(key, at=now, mode=MODE_BLOCKING))``.
+
+        Kept so existing callers and tests migrate incrementally; analysis
+        rule A4 forbids new callers outside ``repro.remote``.
+        """
+        return self.submit(FetchRequest(key, at=now, mode=MODE_BLOCKING))
+
+    def fetch_async(self, key: DataKey, now: float) -> FetchTicket:
+        """Deprecated shim: ``submit(FetchRequest(key, at=now))`` (async mode).
+
+        Kept so existing callers and tests migrate incrementally; analysis
+        rule A4 forbids new callers outside ``repro.remote``.
+        """
+        return self.submit(FetchRequest(key, at=now, mode=MODE_ASYNC))
+
+    # -- in-flight bookkeeping -------------------------------------------------
+    def in_flight(self, key: DataKey) -> FetchTicket | None:
+        """The pending (or queued) ticket for ``key``, if any."""
         return self._in_flight.get(key)
 
-    def complete(self, request: FetchRequest) -> None:
-        """Deregister a blocking request its caller has consumed."""
-        if self._in_flight.get(request.key) is request:
-            del self._in_flight[request.key]
+    def complete(self, ticket: FetchTicket) -> None:
+        """Deregister a blocking ticket its caller has consumed."""
+        if self._in_flight.get(ticket.key) is ticket:
+            del self._in_flight[ticket.key]
 
-    def deliver_due(self, now: float) -> list[FetchRequest]:
-        """Pop and return every async request whose outcome is known by ``now``.
+    def deliver_due(self, now: float) -> list[FetchTicket]:
+        """Pop and return every async ticket whose outcome is known by ``now``.
 
+        Batch windows whose deadline elapsed close first (at their deadline,
+        not at ``now``), so their responses can be among the delivered.
         Failed attempts with retry budget left are re-issued (after backoff)
         instead of delivered; only successes and terminal failures come out.
         Delivery order is deterministic: ``(arrives_at, issued_at, key)`` —
         plain arrival order would leave ties at the mercy of dict insertion
         order, which retry rescheduling perturbs.
         """
-        delivered: list[FetchRequest] = []
+        if self._queues:
+            self._flush_due(now)
+        delivered: list[FetchTicket] = []
         for key in list(self._in_flight):
-            request = self._in_flight[key]
-            while request.arrives_at <= now:
-                if request.ok or request.final:
-                    delivered.append(request)
+            ticket = self._in_flight[key]
+            while ticket.arrives_at <= now:
+                if ticket.ok or ticket.final:
+                    delivered.append(ticket)
                     del self._in_flight[key]
                     break
-                next_request = self._reissue(request)
-                if next_request is None:
+                next_ticket = self._reissue(ticket)
+                if next_ticket is None:
                     self.failed_fetches += 1
-                    request.final = True
-                    delivered.append(request)
+                    ticket.final = True
+                    delivered.append(ticket)
                     del self._in_flight[key]
                     break
-                request = next_request
-                self._in_flight[key] = request
-        delivered.sort(key=lambda req: (req.arrives_at, req.issued_at, repr(req.key)))
+                ticket = next_ticket
+                self._in_flight[key] = ticket
+        delivered.sort(key=lambda t: (t.arrives_at, t.issued_at, repr(t.key)))
         if self.tracer.enabled:
-            for request in delivered:
-                self._trace_complete(request)
+            for ticket in delivered:
+                self._trace_complete(ticket)
         return delivered
 
-    def _trace_complete(self, request: FetchRequest) -> None:
+    def _trace_complete(self, ticket: FetchTicket) -> None:
         self.tracer.emit(  # eires: allow[M2] sole caller guards on tracer.enabled
 
             CAT_FETCH,
             "complete",
-            request.first_issued_at,
-            dur=request.arrives_at - request.first_issued_at,
-            key=trace_key(request.key),
-            ok=request.ok,
-            error=request.error,
-            attempts=request.attempt,
+            ticket.first_issued_at,
+            dur=ticket.arrives_at - ticket.first_issued_at,
+            key=trace_key(ticket.key),
+            ok=ticket.ok,
+            error=ticket.error,
+            attempts=ticket.attempt,
         )
 
     def pending_count(self) -> int:
         return len(self._in_flight)
+
+    def batch_stats(self) -> BatchStats:
+        """Amortization summary of the wire traffic so far."""
+        return BatchStats(
+            wire_requests=self.wire_requests,
+            batches=self.batches,
+            batched_keys=self.batched_keys,
+            batch_splits=self.batch_splits,
+        )
+
+    # -- batch windows ---------------------------------------------------------
+    def open_batch_count(self) -> int:
+        """Sources with an open (unflushed) coalescing window."""
+        return len(self._queues)
+
+    def flush_batches(self, now: float) -> int:
+        """Drain every open batch window; returns the keys flushed.
+
+        Used by the dispatch loop at end of stream so open windows close
+        deterministically (sources in sorted order, each batch in its
+        utility-ranked key order) — tracing-on/off and resumed runs stay
+        byte-identical.  Windows whose deadline already passed flush at
+        that deadline; still-open windows flush at ``now``.
+        """
+        flushed = 0
+        for source in sorted(self._queues):
+            queue = self._queues[source]
+            flushed += len(queue)
+            self._flush_source(source, min(queue.deadline, now))
+        return flushed
+
+    def _flush_due(self, now: float) -> None:
+        """Close every window whose deadline has passed, at its deadline."""
+        for source in sorted(self._queues):
+            queue = self._queues.get(source)
+            if queue is not None and queue.deadline <= now:
+                self._flush_source(source, queue.deadline)
+
+    def _flush_source(self, source: str, at: float) -> None:
+        """Issue one multi-key wire request for a source's open window.
+
+        Success completes every ticket at ``at + l_batch(n)`` and records
+        one amortized latency share per key (the monitor's estimates feed
+        Eq. 7/8, so planning sees the amortized cost).  Failure marks every
+        ticket failed-at-attempt-1 with retry budget intact: the normal
+        delivery machinery then *splits* the batch, re-issuing each key
+        individually, so one poisoned key cannot terminally fail its
+        cohort.  The breaker observes exactly one outcome per wire request.
+        """
+        queue = self._queues.pop(source, None)
+        if queue is None or len(queue) == 0:
+            return
+        tickets = queue.ranked()
+        n = len(tickets)
+        self.wire_requests += 1
+        if n > 1:
+            self.batches += 1
+            self.batched_keys += n
+        if self._batch_hist is not None:
+            self._batch_hist.observe(float(n), at)
+        latency = self.batch_policy.batch_latency(n)
+        decision = None
+        if self._fault_model is not None:
+            # One fault draw per wire request (the whole batch shares the
+            # wire); the ranked-first key is the deterministic representative.
+            decision = self._fault_model.decide(tickets[0].key, at, 1, self._fault_rng)
+        tracer = self.tracer
+        if decision is None or decision.kind not in (ERROR, DROP):
+            if decision is not None and decision.kind == SLOW:
+                latency *= decision.latency_scale
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_FETCH,
+                    "batch_issue",
+                    at,
+                    source=source,
+                    n=n,
+                    keys=[trace_key(t.key) for t in tickets],
+                    dur=latency,
+                    ok=True,
+                )
+            share = latency / n
+            for ticket in tickets:
+                ticket.queued = False
+                ticket.arrives_at = at + latency
+                ticket.element = self._store.lookup(ticket.key)
+                ticket.ok = True
+                ticket.error = None
+                self.monitor.record(ticket.key, share)
+            if self._latency_hist is not None:
+                self._latency_hist.observe(latency, at)
+            if self.breakers is not None:
+                self.breakers.record(source, True, at)
+            return
+        if decision.kind == ERROR:
+            # A fast error response: the failure is known after the round trip.
+            known_after = latency
+            error = "error"
+        else:
+            # A silent drop: the failure is only known at the attempt timeout.
+            known_after = self._retry.attempt_timeout if self._retry is not None else latency
+            error = "timeout"
+        if self.breakers is not None:
+            self.breakers.record(source, False, at)
+        if n > 1:
+            self.batch_splits += 1
+        if tracer.enabled:
+            tracer.emit(
+                CAT_FETCH,
+                "batch_issue",
+                at,
+                source=source,
+                n=n,
+                keys=[trace_key(t.key) for t in tickets],
+                dur=known_after,
+                ok=False,
+                error=error,
+            )
+        for ticket in tickets:
+            ticket.queued = False
+            ticket.arrives_at = at + known_after
+            ticket.ok = False
+            ticket.error = error
 
     # -- health-aware estimates ------------------------------------------------
     def source_available(self, source: str, now: float) -> bool:
@@ -350,42 +634,42 @@ class Transport:
         return estimate + self._retry.expected_overhead(failure_rate, estimate)
 
     # -- issue / retry internals ----------------------------------------------
-    def _retry_to_completion(self, request: FetchRequest, count_failure: bool) -> FetchRequest:
-        """Drive a request's retry chain synchronously to its final outcome."""
-        while not request.ok:
-            next_request = self._reissue(request)
-            if next_request is None:
+    def _retry_to_completion(self, ticket: FetchTicket, count_failure: bool) -> FetchTicket:
+        """Drive a ticket's retry chain synchronously to its final outcome."""
+        while not ticket.ok:
+            next_ticket = self._reissue(ticket)
+            if next_ticket is None:
                 if count_failure:
                     self.failed_fetches += 1
                 break
-            request = next_request
-        request.final = True
+            ticket = next_ticket
+        ticket.final = True
         if self.tracer.enabled:
-            self._trace_complete(request)
-        return request
+            self._trace_complete(ticket)
+        return ticket
 
-    def _reissue(self, request: FetchRequest) -> FetchRequest | None:
-        """The follow-up attempt for a failed request, or None if spent."""
-        if self._retry is None or request.error == "breaker_open":
+    def _reissue(self, ticket: FetchTicket) -> FetchTicket | None:
+        """The follow-up attempt for a failed ticket, or None if spent."""
+        if self._retry is None or ticket.error == "breaker_open":
             return None
-        next_attempt = request.attempt + 1
-        if not self._retry.allows(next_attempt, request.arrives_at - request.first_issued_at):
+        next_attempt = ticket.attempt + 1
+        if not self._retry.allows(next_attempt, ticket.arrives_at - ticket.first_issued_at):
             return None
         self.retries += 1
-        reissue_at = request.arrives_at + self._retry.backoff(request.attempt, self._rng)
+        reissue_at = ticket.arrives_at + self._retry.backoff(ticket.attempt, self._rng)
         if self.tracer.enabled:
             self.tracer.emit(
                 CAT_FETCH,
                 "retry",
-                request.arrives_at,
-                key=trace_key(request.key),
+                ticket.arrives_at,
+                key=trace_key(ticket.key),
                 attempt=next_attempt,
-                error=request.error,
+                error=ticket.error,
                 reissue_at=reissue_at,
             )
         return self._issue(
-            request.key, reissue_at, attempt=next_attempt,
-            first_issued_at=request.first_issued_at,
+            ticket.key, reissue_at, attempt=next_attempt,
+            first_issued_at=ticket.first_issued_at,
         )
 
     def _issue(
@@ -394,7 +678,7 @@ class Transport:
         now: float,
         attempt: int = 1,
         first_issued_at: float | None = None,
-    ) -> FetchRequest:
+    ) -> FetchTicket:
         first = now if first_issued_at is None else first_issued_at
         tracer = self.tracer
         if self.breakers is not None and not self.breakers.allow(key[0], now):
@@ -405,10 +689,11 @@ class Transport:
                 tracer.emit(
                     CAT_FETCH, "breaker_fastfail", now, key=trace_key(key), attempt=attempt
                 )
-            return FetchRequest(
+            return FetchTicket(
                 key, issued_at=now, arrives_at=now, element=None, ok=False,
                 error="breaker_open", attempt=attempt, first_issued_at=first, final=False,
             )
+        self.wire_requests += 1
         if tracer.enabled:
             tracer.emit(CAT_FETCH, "issue", now, key=trace_key(key), attempt=attempt)
         latency = self._latency_model.sample(key, self._rng)
@@ -419,7 +704,7 @@ class Transport:
             if decision is not None and decision.kind == SLOW:
                 latency *= decision.latency_scale
             element = self._store.lookup(key)
-            request = FetchRequest(
+            ticket = FetchTicket(
                 key, issued_at=now, arrives_at=now + latency, element=element,
                 attempt=attempt, first_issued_at=first, final=False,
             )
@@ -428,7 +713,7 @@ class Transport:
                 self._latency_hist.observe(latency, now)
             if self.breakers is not None:
                 self.breakers.record(key[0], True, now)
-            return request
+            return ticket
         if decision.kind == ERROR:
             # A fast error response: the failure is known after the round trip.
             known_after = latency
@@ -439,7 +724,7 @@ class Transport:
             error = "timeout"
         if self.breakers is not None:
             self.breakers.record(key[0], False, now)
-        return FetchRequest(
+        return FetchTicket(
             key, issued_at=now, arrives_at=now + known_after, element=None, ok=False,
             error=error, attempt=attempt, first_issued_at=first, final=False,
         )
@@ -448,7 +733,8 @@ class Transport:
         return (
             f"Transport(blocking={self.blocking_fetches}, async={self.async_fetches}, "
             f"coalesced={self.coalesced}, retries={self.retries}, "
-            f"failed={self.failed_fetches}, pending={len(self._in_flight)})"
+            f"failed={self.failed_fetches}, wire={self.wire_requests}, "
+            f"pending={len(self._in_flight)})"
         )
 
 

@@ -29,6 +29,7 @@ from repro.nfa.compiler import compile_query
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.query.ast import Query
+from repro.remote.batching import BatchPolicy
 from repro.remote.element import DataKey
 from repro.remote.faults import make_fault_model
 from repro.remote.monitor import BreakerBoard, LatencyMonitor
@@ -158,6 +159,12 @@ class RuntimeBuilder:
             fault_rng=spawn(rng, "faults"),
             retry_policy=retry_policy,
             breakers=breakers,
+            batch_policy=BatchPolicy(
+                window=config.batch_window,
+                max_keys=config.batch_max_keys,
+                fixed_latency=config.batch_fixed_latency,
+                per_key_latency=config.batch_per_key_latency,
+            ),
         )
 
         runtime = Runtime(

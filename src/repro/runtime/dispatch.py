@@ -169,6 +169,19 @@ def dispatch(
             session.matches.extend(step_matches)
         throughput.record_event(clock.now)
 
+    # Close any batch window still open when the stream ends (each transport
+    # exactly once — sessions may share one) so the final deliveries and
+    # counters are deterministic regardless of where the stream was cut.
+    flushed_transports: set[int] = set()
+    for session in sessions:
+        ctx = session.strategy.ctx
+        if ctx is None or ctx.transport is None:
+            continue
+        if id(ctx.transport) in flushed_transports:
+            continue
+        flushed_transports.add(id(ctx.transport))
+        ctx.transport.flush_batches(clock.now)
+
     for session in sessions:
         session.strategy.end_of_stream()
         session.engine.flush(session.strategy)

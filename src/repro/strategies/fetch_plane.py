@@ -6,6 +6,12 @@ stall accounting, async issue/delivery with cache-tier intent, and the
 stale-value fallback of graceful degradation.  The decision logic of *when*
 to fetch stays in :mod:`repro.strategies.obligations` and the concrete
 strategy subclasses; this mixin only executes the data movement.
+
+All remote access goes through the unified request surface:
+``transport.submit(FetchRequest(...))``.  Async submissions carry the
+caller's utility so the transport's batch assembly can rank them —
+certain-use lazy fetches submit with infinite utility and lead any batch,
+gated prefetches carry their Eq. 7 candidate utility.
 """
 
 from __future__ import annotations
@@ -14,9 +20,14 @@ from typing import Any
 
 from repro.obs.trace import CAT_FETCH, trace_key
 from repro.remote.element import DataKey
+from repro.remote.transport import MODE_BLOCKING, FetchRequest
 from repro.strategies.context import PURPOSE_LAZY, PURPOSE_PREFETCH
 
 __all__ = ["FetchPlane"]
+
+# Batch-assembly rank of a certain-use (lazy) fetch: ahead of every
+# speculative prefetch, whatever its Eq. 7 utility.
+_LAZY_UTILITY = float("inf")
 
 
 class FetchPlane:
@@ -88,18 +99,20 @@ class FetchPlane:
         ctx = self.ctx
         now = ctx.clock.now
         latest = now
-        requests = []
-        owned: list = []  # blocking requests this call issued (to deregister)
+        tickets = []
+        owned: list = []  # blocking tickets this call obtained (to deregister)
         for key in keys:
             pending = ctx.transport.in_flight(key)
             if pending is not None and (pending.ok or pending.final):
-                request = pending
+                ticket = pending
             else:
-                request = ctx.transport.fetch_blocking(key, now)
-                owned.append(request)
-            requests.append(request)
-            if request.arrives_at > latest:
-                latest = request.arrives_at
+                ticket = ctx.transport.submit(
+                    FetchRequest(key, at=now, mode=MODE_BLOCKING)
+                )
+                owned.append(ticket)
+            tickets.append(ticket)
+            if ticket.arrives_at > latest:
+                latest = ticket.arrives_at
         self.stats.blocking_stalls += 1
         self.stats.total_stall_time += latest - now
         tracer = ctx.tracer
@@ -114,27 +127,27 @@ class FetchPlane:
         ctx.clock.advance_to(latest)
         values: dict[DataKey, Any] = {}
         cache = ctx.cache
-        owned_set = {id(request) for request in owned}
-        for request in requests:
-            self._purpose.pop(request.key, None)
-            if request.ok:
-                values[request.key] = request.element.value
+        owned_set = {id(ticket) for ticket in owned}
+        for ticket in tickets:
+            self._purpose.pop(ticket.key, None)
+            if ticket.ok:
+                values[ticket.key] = ticket.element.value
                 if ctx.stale_serve_enabled:
-                    self._last_known[request.key] = request.element.value
+                    self._last_known[ticket.key] = ticket.element.value
                 if cache is not None:
-                    cache.put(request.element, ctx.clock.now, certain=True)
+                    cache.put(ticket.element, ctx.clock.now, certain=True)
                 continue
             # Terminal failure.  Pending async failures are counted when
             # delivered; only failures of requests we issued count here.
-            if id(request) in owned_set:
+            if id(ticket) in owned_set:
                 self.stats.fetch_failures += 1
             if self._in_blocking_round:
-                self._round_failed.add(request.key)
-            if ctx.stale_serve_enabled and request.key in self._last_known:
-                values[request.key] = self._last_known[request.key]
+                self._round_failed.add(ticket.key)
+            if ctx.stale_serve_enabled and ticket.key in self._last_known:
+                values[ticket.key] = self._last_known[ticket.key]
                 self.stats.stale_serves += 1
-        for request in owned:
-            ctx.transport.complete(request)
+        for ticket in owned:
+            ctx.transport.complete(ticket)
         self._deliver_due()
         return values
 
@@ -151,20 +164,20 @@ class FetchPlane:
         if not delivered:
             return
         cache = ctx.cache
-        for request in delivered:
-            purpose = self._purpose.pop(request.key, PURPOSE_LAZY)
-            if not request.ok:
+        for ticket in delivered:
+            purpose = self._purpose.pop(ticket.key, PURPOSE_LAZY)
+            if not ticket.ok:
                 self.stats.fetch_failures += 1
                 continue
             if ctx.stale_serve_enabled:
-                self._last_known[request.key] = request.element.value
+                self._last_known[ticket.key] = ticket.element.value
             if cache is not None:
-                cache.put(request.element, ctx.clock.now, certain=purpose == PURPOSE_LAZY)
+                cache.put(ticket.element, ctx.clock.now, certain=purpose == PURPOSE_LAZY)
 
-    def _fetch_async(self, key: DataKey, purpose: str) -> None:
+    def _fetch_async(self, key: DataKey, purpose: str, utility: float = 0.0) -> None:
         ctx = self.ctx
         if ctx.transport.in_flight(key) is None:
-            ctx.transport.fetch_async(key, ctx.clock.now)
+            ctx.transport.submit(FetchRequest(key, at=ctx.clock.now, utility=utility))
             self._purpose[key] = purpose
         elif purpose == PURPOSE_LAZY:
             # A lazy need upgrades a speculative prefetch: its use is now certain.
@@ -172,7 +185,7 @@ class FetchPlane:
 
     def _fetch_async_lazy(self, keys: list[DataKey]) -> None:
         for key in keys:
-            self._fetch_async(key, PURPOSE_LAZY)
+            self._fetch_async(key, PURPOSE_LAZY, utility=_LAZY_UTILITY)
 
-    def _fetch_async_prefetch(self, key: DataKey) -> None:
-        self._fetch_async(key, PURPOSE_PREFETCH)
+    def _fetch_async_prefetch(self, key: DataKey, utility: float = 0.0) -> None:
+        self._fetch_async(key, PURPOSE_PREFETCH, utility=utility)

@@ -258,7 +258,8 @@ class PFetchStrategy(FetchStrategy):
                     candidate_utility=candidate,
                     cache_min=cache_min,
                 )
-            self._fetch_async_prefetch(key)
+            # The Eq. 7 candidate utility doubles as the batch-assembly rank.
+            self._fetch_async_prefetch(key, utility=candidate)
             return
         self.stats.prefetches_issued += 1
         if tracer.enabled:

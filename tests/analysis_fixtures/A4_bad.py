@@ -1,0 +1,7 @@
+# eires-fixture: place=strategies/rogue_shim.py
+"""A deprecated Transport shim called outside repro.remote — A4 flags."""
+
+
+def resolve(transport, key, now):
+    request = transport.fetch_blocking(key, now)
+    return request.element

@@ -1,0 +1,8 @@
+# eires-fixture: place=strategies/uses_submit.py
+"""Strategy code on the unified surface — submit(FetchRequest) is fine."""
+from repro.remote.transport import MODE_BLOCKING, FetchRequest
+
+
+def resolve(transport, key, now):
+    ticket = transport.submit(FetchRequest(key, at=now, mode=MODE_BLOCKING))
+    return ticket.element
