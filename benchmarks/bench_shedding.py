@@ -1,0 +1,151 @@
+"""Recall vs. detection latency under overload: the shedding trade.
+
+The bursty workload drives Q1 at ~5x the sustainable arrival rate in
+periodic bursts with hot-partition skew; without shedding, queueing lag
+accumulates over every burst and detection latency grows by orders of
+magnitude.  This bench replays the same stream under each shedding policy
+across a sweep of latency bounds and records the resulting curve: recall
+(matches kept, relative to the unshedded run) against detection-latency
+percentiles.  The acceptance properties encode the plane's promise —
+shedding keeps the p95 detection latency a small multiple of the bound
+while the unshedded run blows through it, every drop shows up on a
+registered counter, and the ``none`` policy reproduces the unshedded run
+exactly.
+
+Run under pytest (the tier-2 suite) or standalone::
+
+    python benchmarks/bench_shedding.py           # full sweep
+    python benchmarks/bench_shedding.py --smoke   # CI-sized
+
+Results land in ``results/BENCH_shedding.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import ExperimentResult, run_strategy, save_results
+from repro.core.config import EiresConfig
+from repro.workloads.bursty import BurstyConfig, bursty_workload
+
+STRATEGY = "Hybrid"
+#: Queueing-delay bounds (virtual us) swept for each shedding policy.
+LATENCY_BOUNDS = (200.0, 1_000.0, 5_000.0)
+#: Shedding must hold p95 detection latency within this multiple of the
+#: configured bound (the bound caps *queueing* delay; detection latency adds
+#: the intra-window wait and whatever lag built up before the detector
+#: tripped), while the unshedded run must blow through the same envelope.
+P95_HEADROOM = 10.0
+COLUMNS = ("policy", "latency_bound", "matches", "recall", "p50", "p95",
+           "shed.overloads", "shed.events_dropped", "shed.runs_shed",
+           "engine.dropped.shed")
+
+
+def _config(capacity: int, policy: str, bound: float | None) -> EiresConfig:
+    return EiresConfig(
+        cache_capacity=capacity,
+        shed_policy=policy,
+        latency_bound=bound,
+    )
+
+
+def sweep(n_events: int = 4_000) -> list[dict]:
+    workload = bursty_workload(BurstyConfig(n_events=n_events))
+    capacity = workload.notes["cache_capacity"]
+
+    baseline = run_strategy(workload, STRATEGY, _config(capacity, "none", None))
+    base_row = baseline.summary()
+    base_row["policy"] = "none"
+    base_row["latency_bound"] = None
+    base_row["recall"] = 1.0
+    rows = [base_row]
+
+    base_matches = max(baseline.match_count, 1)
+    for policy in ("events", "runs"):
+        for bound in LATENCY_BOUNDS:
+            result = run_strategy(workload, STRATEGY, _config(capacity, policy, bound))
+            row = result.summary()
+            row["policy"] = policy
+            row["latency_bound"] = bound
+            row["recall"] = round(result.match_count / base_matches, 3)
+            rows.append(row)
+    return rows
+
+
+def check_rows(rows: list[dict]) -> None:
+    """The acceptance properties of the sweep (shared by pytest and CLI)."""
+    base = rows[0]
+    assert base["policy"] == "none" and base["recall"] == 1.0
+    assert "shed.overloads" not in base, "policy none must carry no shed.* columns"
+    assert base["matches"] > 0, "the overload scenario must still produce matches"
+
+    tightest = min(LATENCY_BOUNDS)
+    # The point of the exercise: without shedding the overload blows the
+    # latency bound by orders of magnitude.
+    assert base["p95"] > tightest * P95_HEADROOM, (
+        f"unshedded p95 {base['p95']} does not exceed the bound x headroom; "
+        f"the scenario is not overloaded enough to exercise shedding"
+    )
+
+    for row in rows[1:]:
+        policy, bound = row["policy"], row["latency_bound"]
+        label = f"{policy}@{bound}"
+        # Bounded latency: p95 stays within a fixed multiple of the bound
+        # while the unshedded run is far beyond it.
+        assert row["p95"] <= bound * P95_HEADROOM, (
+            f"{label}: p95 {row['p95']} exceeds bound x headroom "
+            f"({bound} x {P95_HEADROOM})"
+        )
+        assert row["p95"] < base["p95"], (
+            f"{label}: p95 {row['p95']} not below unshedded {base['p95']}"
+        )
+        # Shedding actually happened, and every drop is attributed.
+        assert row["shed.overloads"] > 0, f"{label}: detector never tripped"
+        if policy == "events":
+            assert row["shed.events_dropped"] > 0, f"{label}: no events dropped"
+            assert row["engine.dropped.shed"] == 0, (
+                f"{label}: event shedding must not evict runs"
+            )
+        else:
+            assert row["shed.runs_shed"] > 0, f"{label}: no runs shed"
+            assert row["shed.runs_shed"] == row["engine.dropped.shed"], (
+                f"{label}: shed counter {row['shed.runs_shed']} disagrees with "
+                f"engine.dropped.shed {row['engine.dropped.shed']}"
+            )
+        # Shedding trades recall, it does not fabricate matches.
+        assert 0.0 < row["recall"] <= 1.0, f"{label}: recall {row['recall']}"
+
+    # The curve property: a looser bound never costs recall.
+    for policy in ("events", "runs"):
+        curve = [row for row in rows[1:] if row["policy"] == policy]
+        curve.sort(key=lambda row: row["latency_bound"])
+        recalls = [row["recall"] for row in curve]
+        assert recalls == sorted(recalls), (
+            f"{policy}: recall not monotone in the latency bound: {recalls}"
+        )
+
+
+def test_shedding_sweep(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.add(
+        ExperimentResult("BENCH_shedding", rows),
+        comparison_metric=None,
+        columns=COLUMNS,
+    )
+    check_rows(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in args
+    rows = sweep(n_events=1_600 if smoke else 4_000)
+    experiment = ExperimentResult("BENCH_shedding", rows)
+    print(experiment.table(COLUMNS))
+    check_rows(rows)
+    path = save_results(experiment)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ __all__ = [
     "CompositionRootRule",
     "ShadowAssemblyRule",
     "TransportShimRule",
+    "SheddingCompositionRule",
 ]
 
 # A1 (R1): packages of the evaluation core, and the prefixes they must not
@@ -49,6 +50,11 @@ COMPOSITION_ROOT = "runtime/"
 # remote substrate itself (where the shims are defined and exercised).
 TRANSPORT_SHIMS = ("fetch_blocking", "fetch_async")
 REMOTE_PACKAGE = "remote/"
+
+# A5: the shedding plane's constructors, callable only by the composition
+# root and inside the plane itself.
+SHEDDING_CONSTRUCTORS = ("LoadShedder", "OverloadDetector", "make_shedding_policy")
+SHEDDING_PACKAGE = "shedding/"
 
 
 @register
@@ -146,4 +152,33 @@ plane or the utility-ranked assembly."""
                     module, line,
                     f"deprecated Transport shim {name}() called outside "
                     "repro.remote; use transport.submit(FetchRequest(...))",
+                )
+
+
+@register
+class SheddingCompositionRule(Rule):
+    id = "A5"
+    title = "shedding plane constructed only by the composition root"
+    explain = """\
+Load shedding silently trades recall for latency, so whether it is active
+must be decided in exactly one place.  Only repro.runtime (the composition
+root) and repro.shedding itself may construct the plane's entry points —
+LoadShedder, OverloadDetector, and the make_shedding_policy factory.
+Everything else receives an assembled session from RuntimeBuilder; a
+strategy, facade, or benchmark wiring its own shedder could drop events or
+runs without the config, counters, and trace records that make every drop
+accountable (and would break the guarantee that shed_policy='none' is
+byte-identical to a build without the plane)."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        pkg = module.pkg
+        if pkg is None or pkg.startswith((COMPOSITION_ROOT, SHEDDING_PACKAGE)):
+            return
+        for name, line in module.constructed:
+            if name in SHEDDING_CONSTRUCTORS:
+                yield self.finding(
+                    module, line,
+                    f"shedding composition: constructs {name} outside "
+                    "repro.runtime; sessions get their LoadShedder from "
+                    "RuntimeBuilder",
                 )

@@ -124,7 +124,7 @@ spawn; justify true exceptions with `# eires: allow[D2] reason`."""
 # -- D3 ---------------------------------------------------------------------
 
 #: Decision-code packages where iteration order can leak into behaviour.
-ORDER_SENSITIVE_PREFIXES = ("strategies/", "cache/", "runtime/")
+ORDER_SENSITIVE_PREFIXES = ("strategies/", "cache/", "runtime/", "shedding/")
 
 _VIEW_METHODS = frozenset({"keys", "values", "items"})
 _SET_BUILTINS = frozenset({"set", "frozenset"})
@@ -135,10 +135,10 @@ class UnorderedIterationRule(Rule):
     id = "D3"
     title = "no unsorted set/dict-view iteration in decision code"
     explain = """\
-Inside strategies/, cache/, and runtime/ — the code that decides what to
-fetch, postpone, cache, and evict — iteration order is behaviour: ties in
-utility, victim sampling, and obligation resolution are broken by whichever
-element comes first.  Sets iterate in hash order (saltable), and dict views
+Inside strategies/, cache/, runtime/, and shedding/ — the code that decides
+what to fetch, postpone, cache, evict, and shed — iteration order is
+behaviour: ties in utility, victim sampling, and obligation resolution are
+broken by whichever element comes first.  Sets iterate in hash order (saltable), and dict views
 iterate in insertion order, which silently depends on construction history.
 
 The rule flags `for ... in` (and comprehensions) over set literals,

@@ -34,8 +34,10 @@ from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_snap
 from repro.obs.provenance import replay_trace
 from repro.obs.trace import MemorySink, Tracer
 from repro.remote.faults import FAULT_PROFILES
+from repro.shedding.policy import SHED_NONE, SHED_POLICIES
 from repro.strategies.base import FAIL_CLOSED, FAIL_OPEN
 from repro.workloads.base import Workload
+from repro.workloads.bursty import BurstyConfig, bursty_workload
 from repro.workloads.bushfire import BushfireConfig, bushfire_workload
 from repro.workloads.cluster import ClusterConfig, cluster_workload
 from repro.workloads.fraud import FraudConfig, fraud_workload
@@ -55,6 +57,7 @@ def _q2(events: int) -> Workload:
 WORKLOADS: dict[str, Callable[[int], Workload]] = {
     "q1": _q1,
     "q2": _q2,
+    "bursty": lambda events: bursty_workload(BurstyConfig(n_events=events)),
     "fraud": lambda events: fraud_workload(FraudConfig(n_events=events)),
     "bushfire": lambda events: bushfire_workload(BushfireConfig(n_events=events)),
     "cluster": lambda events: cluster_workload(ClusterConfig(n_tasks=max(events // 6, 1))),
@@ -87,6 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--json", action="store_true",
                          help="emit the per-strategy summary rows as JSON")
     _add_batching_args(compare)
+    _add_shedding_args(compare)
     _add_observability_args(compare)
 
     trace = subparsers.add_parser(
@@ -99,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--capacity", type=int, default=None)
     trace.add_argument("--fault-profile", default="none", metavar="PROFILE")
     _add_batching_args(trace)
+    _add_shedding_args(trace)
     _add_observability_args(trace)
 
     describe = subparsers.add_parser("describe", help="print a workload's automaton")
@@ -130,6 +135,27 @@ def _batching_fields(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_shedding_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--shed-policy", choices=sorted(SHED_POLICIES),
+                           default=SHED_NONE,
+                           help="load-shedding policy under overload "
+                                "(default: none — no shedding plane at all)")
+    subparser.add_argument("--latency-bound", type=float, default=None, metavar="US",
+                           help="max tolerable queueing delay in virtual us "
+                                "before shedding kicks in")
+    subparser.add_argument("--run-budget", type=int, default=None, metavar="N",
+                           help="max live partial matches per query before "
+                                "shedding kicks in")
+
+
+def _shedding_fields(args: argparse.Namespace) -> dict:
+    return {
+        "shed_policy": args.shed_policy,
+        "latency_bound": args.latency_bound,
+        "run_budget": args.run_budget,
+    }
+
+
 def _add_observability_args(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--trace-out", default=None, metavar="PATH",
                            help="write the lifecycle trace to PATH")
@@ -158,6 +184,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         failure_mode=args.failure_mode,
         retry_max_attempts=args.retry_attempts,
         **_batching_fields(args),
+        **_shedding_fields(args),
     )
     sink = MemorySink() if args.trace_out is not None else None
     rows = []
@@ -175,6 +202,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     title = f"{args.workload} / {args.policy} / {args.cache} cache (capacity {capacity})"
     if args.fault_profile != "none":
         title += f" / faults={args.fault_profile}"
+    if args.shed_policy != SHED_NONE:
+        title += f" / shed={args.shed_policy}"
     experiment = ExperimentResult(title, rows)
     if args.json:
         print(json.dumps({"name": title, "rows": rows}, indent=2, default=str))
@@ -198,6 +227,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cache_capacity=capacity,
         fault_profile=args.fault_profile,
         **_batching_fields(args),
+        **_shedding_fields(args),
     )
     sink = MemorySink()
     result = run_strategy(
@@ -214,7 +244,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"metrics: -> {args.metrics_out}")
     print(
         f"provenance: {replay['checked_eq7']} Eq.7 decisions, "
-        f"{replay['checked_eq8']} Eq.8 gates replayed, "
+        f"{replay['checked_eq8']} Eq.8 gates, "
+        f"{replay['checked_shed']} shed decisions replayed, "
         f"{len(replay['problems'])} inconsistencies"
     )
     for problem in replay["problems"]:

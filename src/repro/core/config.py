@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.engine.engine import GREEDY, NON_GREEDY
 from repro.engine.interface import CostModel
+from repro.shedding.policy import SHED_NONE, SHED_POLICIES
 from repro.strategies.base import FAIL_CLOSED, FAIL_OPEN
 
 __all__ = ["EiresConfig", "CACHE_LRU", "CACHE_COST"]
@@ -77,6 +78,17 @@ class EiresConfig:
     batch_fixed_latency: float = 40.0
     batch_per_key_latency: float = 8.0
 
+    # Load shedding (overload control).  ``shed_policy="none"`` builds no
+    # shedding plane at all — byte-identical to a build predating it.  The
+    # other policies require at least one bound: ``latency_bound`` (maximum
+    # tolerable queueing delay, virtual us) and/or ``run_budget`` (maximum
+    # live partial matches per session).
+    shed_policy: str = "none"
+    latency_bound: float | None = None
+    run_budget: int | None = None
+    shed_event_threshold: float = 0.0
+    omega_shed: float = 0.5
+
     # Virtual-time cost model
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -117,6 +129,25 @@ class EiresConfig:
         if self.batch_per_key_latency < 0:
             raise ValueError(
                 f"batch_per_key_latency must be non-negative: {self.batch_per_key_latency}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shedding policy {self.shed_policy!r}; choose from "
+                f"{sorted(SHED_POLICIES)}"
+            )
+        if self.latency_bound is not None and self.latency_bound <= 0:
+            raise ValueError(f"latency_bound must be positive: {self.latency_bound}")
+        if self.run_budget is not None and self.run_budget < 1:
+            raise ValueError(f"run_budget must be >= 1: {self.run_budget}")
+        if self.shed_policy != SHED_NONE and self.latency_bound is None and self.run_budget is None:
+            raise ValueError(
+                f"shed_policy={self.shed_policy!r} needs --latency-bound and/or --run-budget"
+            )
+        if not 0.0 <= self.omega_shed <= 1.0:
+            raise ValueError(f"omega_shed must be in [0, 1]: {self.omega_shed}")
+        if self.shed_event_threshold < 0:
+            raise ValueError(
+                f"shed_event_threshold must be non-negative: {self.shed_event_threshold}"
             )
 
     def with_(self, **changes) -> "EiresConfig":

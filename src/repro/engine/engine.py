@@ -25,6 +25,9 @@ match set identical to an engine that had the data all along.
 
 from __future__ import annotations
 
+import heapq
+from typing import Callable
+
 from repro.engine.interface import (
     POSTPONED,
     CostModel,
@@ -101,6 +104,27 @@ class Engine:
         for buckets in self._runs.values():
             for runs in buckets.values():
                 yield from runs
+
+    def extendable_runs(self, event: Event) -> list[tuple[int, int]]:
+        """``(state index, matching-partition run count)`` pairs for ``event``.
+
+        The classes whose live partial matches the event's type can advance,
+        with how many runs sit in the event's partition bucket — the inputs
+        of the eSPICE-style event-utility score (load shedding) without
+        touching any run.  States are reported in index order.
+        """
+        event_type = event.event_type
+        partition = (
+            event.attrs.get(self._partition_attr) if self._partition_attr is not None else None
+        )
+        pairs: list[tuple[int, int]] = []
+        for state_index in sorted(self._runs):
+            if (state_index, event_type) not in self._dispatch:
+                continue
+            runs = self._runs[state_index].get(partition)
+            if runs:
+                pairs.append((state_index, len(runs)))
+        return pairs
 
     def process_event(self, event: Event, strategy: StrategyProtocol) -> list[MatchRecord]:
         """Advance the evaluation by one input event (the ``f_Q`` step)."""
@@ -201,24 +225,53 @@ class Engine:
         Disabled by default; experiments size their workloads so this never
         triggers (`stats.shed_runs` proves it).
         """
-        while self._active > self.max_partial_matches:
-            oldest: tuple[int, object] | None = None
-            oldest_seq = -1
-            for state_index, buckets in self._runs.items():
-                for partition, runs in buckets.items():
-                    if runs and (oldest is None or runs[0].first_seq < oldest_seq):
-                        oldest = (state_index, partition)
-                        oldest_seq = runs[0].first_seq
-            if oldest is None:
-                return
-            state_index, partition = oldest
-            runs = self._runs[state_index][partition]
-            run = runs.pop(0)
-            if not runs:
-                del self._runs[state_index][partition]
+        excess = self._active - self.max_partial_matches
+        if excess > 0:
+            self.shed_lowest(excess, lambda run: float(run.first_seq), strategy)
+
+    def shed_lowest(
+        self,
+        count: int,
+        score: Callable[[Run], float],
+        strategy: StrategyProtocol,
+        reason: str = "shed",
+    ) -> int:
+        """Batch-evict the ``count`` lowest-scoring runs; returns the number shed.
+
+        One pass collects ``(score, run_id)`` over every live run and a heap
+        selects the victims, so shedding N runs costs one sweep plus
+        O(runs log N) — not N full scans of the state×partition table.  Ties
+        break on ``run_id`` (creation order), making the victim set a pure
+        function of engine state.  Victims are dropped in ascending score
+        order, each charged to ``stats.shed_runs`` and reported to the
+        strategy under ``reason``.
+        """
+        if count <= 0 or not self._active:
+            return 0
+        scored: list[tuple[float, int, int, object, Run]] = []
+        for state_index, buckets in self._runs.items():
+            for partition, runs in buckets.items():
+                for run in runs:
+                    scored.append((score(run), run.run_id, state_index, partition, run))
+        # run_id is unique, so comparisons never reach the partition object.
+        victims = heapq.nsmallest(count, scored)
+        doomed: dict[tuple[int, object], set[int]] = {}
+        for _, run_id, state_index, partition, _run in victims:
+            doomed.setdefault((state_index, partition), set()).add(run_id)
+        for (state_index, partition), run_ids in doomed.items():
+            buckets = self._runs[state_index]
+            survivors = [run for run in buckets[partition] if run.run_id not in run_ids]
+            if survivors:
+                buckets[partition] = survivors
+            else:
+                del buckets[partition]
+                if not buckets:
+                    del self._runs[state_index]
+        for _, _, _, _, run in victims:
             self._active -= 1
             self.stats.shed_runs += 1
-            strategy.on_run_dropped(run, "shed")
+            strategy.on_run_dropped(run, reason)
+        return len(victims)
 
     # -- guard evaluation --------------------------------------------------------
     def _step_run(

@@ -21,7 +21,12 @@ from repro.obs.export import (
     write_jsonl,
     write_metrics_snapshot,
 )
-from repro.obs.provenance import replay_trace, verify_eq7_record, verify_eq8_record
+from repro.obs.provenance import (
+    replay_trace,
+    verify_eq7_record,
+    verify_eq8_record,
+    verify_shed_record,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     CATEGORIES,
@@ -51,6 +56,7 @@ __all__ = [
     "replay_trace",
     "verify_eq7_record",
     "verify_eq8_record",
+    "verify_shed_record",
     "validate_chrome_trace",
 ]
 

@@ -17,6 +17,15 @@ Eq. 8 (LzEval gate, ``cat="obligation"``, ``name="eq8_gate"``)::
 
     beneficial(m) iff delta_minus(m) > delta_plus(m)  # hidden latency wins
     postpone iff succ = {m : beneficial(m)} is non-empty
+
+Shedding decisions (``cat="shed"``, ``name="shed_decision"``) record the
+detector inputs (queueing lag, active population, configured bounds) next to
+the action taken, so the overload predicate replays the same way::
+
+    overloaded iff (latency_bound set and lag > latency_bound)
+               or  (run_budget set and active > run_budget)
+    drop_event iff utility <= cutoff                     # events policy
+    shed_runs  iff victims = min(before - target, before) > 0   # runs policy
 """
 
 from __future__ import annotations
@@ -26,8 +35,10 @@ from typing import Any, Iterable, Mapping
 __all__ = [
     "EQ7_FIELDS",
     "EQ8_FIELDS",
+    "SHED_FIELDS",
     "verify_eq7_record",
     "verify_eq8_record",
+    "verify_shed_record",
     "replay_trace",
 ]
 
@@ -36,6 +47,9 @@ EQ7_FIELDS = ("uu", "fu", "omega", "ell_estimate", "candidate_utility", "cache_m
 
 #: Inputs every Eq. 8 gate record must carry.
 EQ8_FIELDS = ("ell", "branch", "deltas", "succ")
+
+#: Detector inputs every shedding decision must carry.
+SHED_FIELDS = ("policy", "action", "lag", "latency_bound", "active", "run_budget")
 
 _TOL = 1e-9
 
@@ -103,10 +117,55 @@ def verify_eq8_record(record: Mapping[str, Any]) -> list[str]:
     return problems
 
 
+def verify_shed_record(record: Mapping[str, Any]) -> list[str]:
+    """Problems with one shedding decision record (empty list = consistent)."""
+    problems: list[str] = []
+    missing = [field for field in SHED_FIELDS if field not in record]
+    if missing:
+        return [f"shed seq={record.get('seq')}: missing fields {missing}"]
+    latency_bound = record["latency_bound"]
+    run_budget = record["run_budget"]
+    overloaded = (latency_bound is not None and record["lag"] > latency_bound) or (
+        run_budget is not None and record["active"] > run_budget
+    )
+    if not overloaded:
+        problems.append(
+            f"shed seq={record.get('seq')}: recorded inputs do not exceed either "
+            f"bound (lag={record['lag']!r}, active={record['active']!r})"
+        )
+    action = record["action"]
+    if action == "drop_event":
+        for field in ("event_seq", "utility", "cutoff"):
+            if field not in record:
+                problems.append(f"shed seq={record.get('seq')}: drop_event missing {field!r}")
+                return problems
+        if record["utility"] > record["cutoff"]:
+            problems.append(
+                f"shed seq={record.get('seq')}: dropped event has utility "
+                f"{record['utility']!r} above cutoff {record['cutoff']!r}"
+            )
+    elif action == "shed_runs":
+        for field in ("victims", "target", "before"):
+            if field not in record:
+                problems.append(f"shed seq={record.get('seq')}: shed_runs missing {field!r}")
+                return problems
+        expected = min(record["before"] - record["target"], record["before"])
+        if record["victims"] != expected or record["victims"] <= 0:
+            problems.append(
+                f"shed seq={record.get('seq')}: before={record['before']!r} and "
+                f"target={record['target']!r} imply {expected!r} victims, "
+                f"recorded {record['victims']!r}"
+            )
+    else:
+        problems.append(f"shed seq={record.get('seq')}: unknown action {action!r}")
+    return problems
+
+
 def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     """Replay every decision record; returns counts and collected problems."""
     checked_eq7 = 0
     checked_eq8 = 0
+    checked_shed = 0
     problems: list[str] = []
     for record in records:
         if record.get("cat") == "prefetch" and record.get("name") == "decision":
@@ -115,4 +174,12 @@ def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         elif record.get("cat") == "obligation" and record.get("name") == "eq8_gate":
             checked_eq8 += 1
             problems.extend(verify_eq8_record(record))
-    return {"checked_eq7": checked_eq7, "checked_eq8": checked_eq8, "problems": problems}
+        elif record.get("cat") == "shed" and record.get("name") == "shed_decision":
+            checked_shed += 1
+            problems.extend(verify_shed_record(record))
+    return {
+        "checked_eq7": checked_eq7,
+        "checked_eq8": checked_eq8,
+        "checked_shed": checked_shed,
+        "problems": problems,
+    }

@@ -39,6 +39,7 @@ __all__ = [
     "CAT_FETCH",
     "CAT_OBLIGATION",
     "CAT_MATCH",
+    "CAT_SHED",
     "CATEGORIES",
     "Tracer",
     "NULL_TRACER",
@@ -57,6 +58,11 @@ CAT_CACHE = "cache"              # admit / evict / hit / miss / reject
 CAT_FETCH = "fetch"              # issue / complete / retry / stall / breaker
 CAT_OBLIGATION = "obligation"    # postpone (Eq. 8 provenance) / resolve / expire
 CAT_MATCH = "match"              # match emission
+CAT_SHED = "shed"                # load-shedding decisions (conditional: only
+                                 # emitted when a shedding policy is active,
+                                 # so it is NOT part of CATEGORIES — the CI
+                                 # smoke requires every CATEGORIES entry in a
+                                 # default, shedding-free trace)
 
 CATEGORIES = (
     CAT_EVENT,

@@ -38,6 +38,9 @@ from repro.remote.store import RemoteStore
 from repro.remote.transport import LatencyModel, Transport
 from repro.runtime.dispatch import RunResult, dispatch
 from repro.runtime.session import BACKEND_TREE, QuerySession, QuerySpec
+from repro.shedding.detector import OverloadDetector
+from repro.shedding.policy import SHED_NONE, make_shedding_policy
+from repro.shedding.shedder import LoadShedder
 from repro.sim.clock import VirtualClock
 from repro.sim.rng import make_rng, spawn
 from repro.sim.scheduler import FutureScheduler
@@ -275,7 +278,48 @@ class RuntimeBuilder:
                 max_partial_matches=config.max_partial_matches,
             )
         strategy.bind_engine(engine)
-        return QuerySession(spec, automaton, engine, strategy, utility, rates)
+        shedder = self._build_shedder(runtime, spec, automaton, session_metrics)
+        return QuerySession(spec, automaton, engine, strategy, utility, rates,
+                            shedder=shedder)
+
+    def _build_shedder(
+        self,
+        runtime: "Runtime",
+        spec: QuerySpec,
+        automaton,
+        session_metrics,
+    ) -> LoadShedder | None:
+        """The session's overload-control unit, or ``None`` for policy "none".
+
+        The sole construction site for the shedding plane (analysis rule A5):
+        with the default policy no detector, policy, or shedder object exists
+        at all, so the build is byte-identical to one predating the plane.
+        """
+        config = self.config
+        if config.shed_policy == SHED_NONE:
+            return None
+        if spec.backend == BACKEND_TREE:
+            # The tree engine exposes neither extendable_runs nor shed_lowest.
+            raise ValueError("load shedding requires the automaton backend")
+        detector = OverloadDetector(
+            latency_bound=config.latency_bound,
+            run_budget=config.run_budget,
+        )
+        policy = make_shedding_policy(
+            config.shed_policy,
+            automaton=automaton,
+            omega=config.omega_shed,
+            run_budget=config.run_budget,
+            event_threshold=config.shed_event_threshold,
+        )
+        return LoadShedder(
+            detector,
+            policy,
+            runtime.clock,
+            metrics=session_metrics,
+            tracer=runtime.tracer,
+            label=spec.query.name,
+        )
 
 
 class Runtime:

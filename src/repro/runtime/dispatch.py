@@ -58,6 +58,7 @@ class RunResult:
         duration_us: float,
         metrics: dict[str, Any] | None = None,
         throughput_scope: str = THROUGHPUT_RUN,
+        shed_stats: dict[str, Any] | None = None,
     ) -> None:
         self.strategy_name = strategy_name
         self.matches = matches
@@ -74,6 +75,9 @@ class RunResult:
         # "shared" marks a meter spanning a whole multi-query replay (the
         # summary carries the scope so the sharing is explicit, not implied).
         self.throughput_scope = throughput_scope
+        # Shedding counters; None when the session carried no shedding plane,
+        # keeping default summaries free of shed.* columns.
+        self.shed_stats = shed_stats
 
     @property
     def match_count(self) -> int:
@@ -105,6 +109,8 @@ class RunResult:
         if self.cache_stats is not None:
             data.update({f"cache.{k}": v for k, v in self.cache_stats.items()})  # eires: allow[D3] CACHE_COUNTER_KEYS report order
         data.update({f"transport.{k}": v for k, v in self.transport_stats.items()})  # eires: allow[D3] TRANSPORT_COUNTER_KEYS report order
+        if self.shed_stats is not None:
+            data.update({f"shed.{k}": v for k, v in self.shed_stats.items()})  # eires: allow[D3] SHED_COUNTER_KEYS report order
         return data
 
     def __repr__(self) -> str:
@@ -150,8 +156,17 @@ def dispatch(
         for session in sessions:
             strategy = session.strategy
             strategy.on_event_start(event, index)
+            # Overload control (when configured): input-event shedding skips
+            # the NFA step entirely; run shedding prunes the population the
+            # step just grew.  The substrate work above (async deliveries,
+            # scheduled prefetches, estimator refresh) always happens.
+            shedder = session.shedder
+            if shedder is not None and shedder.before_event(event, session.engine):
+                continue
             step_matches = session.engine.process_event(event, strategy)
             strategy.on_event_end(event, step_matches)
+            if shedder is not None:
+                shedder.after_event(event, session.engine, strategy)
             for match in step_matches:
                 session.latency.record(match.latency)
                 if tracer.enabled:
@@ -195,13 +210,15 @@ def dispatch(
         if cache is None:
             cache = shared_cache
         transport = ctx.transport if ctx is not None else None
+        engine_stats = session.engine.stats.as_dict()
+        engine_stats.update(session.strategy.drops.as_dict())
         results.append(
             RunResult(
                 strategy_name=session.strategy.name,
                 matches=session.matches,
                 latency=session.latency,
                 throughput=throughput,
-                engine_stats=session.engine.stats.as_dict(),
+                engine_stats=engine_stats,
                 strategy_stats=session.strategy.stats.as_dict(),
                 cache_stats=cache.stats.as_dict() if cache is not None else None,
                 transport_stats={
@@ -214,6 +231,9 @@ def dispatch(
                 if ctx is not None and ctx.metrics is not None
                 else None,
                 throughput_scope=scope,
+                shed_stats=session.shedder.stats.as_dict()
+                if session.shedder is not None
+                else None,
             )
         )
     return results

@@ -68,7 +68,7 @@ class QuerySession:
     """
 
     __slots__ = ("spec", "automaton", "engine", "strategy", "utility", "rates",
-                 "matches", "latency")
+                 "shedder", "matches", "latency")
 
     def __init__(
         self,
@@ -78,6 +78,7 @@ class QuerySession:
         strategy: FetchStrategy,
         utility: UtilityModel | None,
         rates: RateEstimator | None,
+        shedder=None,
     ) -> None:
         self.spec = spec
         self.automaton = automaton
@@ -85,6 +86,9 @@ class QuerySession:
         self.strategy = strategy
         self.utility = utility
         self.rates = rates
+        # Overload control; None unless the config names a shedding policy
+        # (the default build carries no shedding plane at all).
+        self.shedder = shedder
         self.matches: list[MatchRecord] = []
         self.latency = LatencyCollector()
 

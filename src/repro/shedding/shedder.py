@@ -1,0 +1,133 @@
+"""The per-session shedding unit: detector + policy + accounting.
+
+A :class:`LoadShedder` is attached to a
+:class:`~repro.runtime.session.QuerySession` by the composition root
+(:class:`~repro.runtime.builder.RuntimeBuilder` — nothing else may build
+one, enforced by analysis rule A5) and consulted by the dispatch loop at
+two points per input event:
+
+* :meth:`before_event` — may drop the input event for this session
+  (eSPICE-style shedding happens *before* NFA evaluation, so a dropped
+  event costs neither guard evaluations nor fresh partial matches);
+* :meth:`after_event` — may evict partial matches from the engine
+  (pSPICE-style shedding happens *after* the step, when the population
+  reflects the event's effect).
+
+Every consult samples the :class:`~repro.shedding.detector.OverloadDetector`
+with the event's queueing lag and the engine's live-run count; policies are
+only asked anything while overloaded, so the healthy path costs two
+comparisons.  Actions are counted on registered ``shed.*`` metrics and
+emitted as ``shed_decision`` trace records carrying the detector inputs, so
+:func:`repro.obs.provenance.verify_shed_record` can replay each decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry, ScopedRegistry
+from repro.obs.trace import CAT_SHED, NULL_TRACER, Tracer
+from repro.shedding.detector import OverloadDetector
+from repro.shedding.policy import ACTION_DROP_EVENT, ACTION_SHED_RUNS, SheddingPolicy
+
+__all__ = ["ShedStats", "SHED_COUNTER_KEYS", "LoadShedder"]
+
+#: Registered ``shed.*`` counters, in report order.
+SHED_COUNTER_KEYS = (
+    "overloads",
+    "events_dropped",
+    "runs_shed",
+)
+
+
+class ShedStats:
+    """Registry view of the shedding counters (``shed.<key>`` cells)."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, registry: MetricsRegistry | ScopedRegistry | None = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._cells = {key: registry.counter(f"shed.{key}") for key in SHED_COUNTER_KEYS}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {key: self._cells[key].value for key in SHED_COUNTER_KEYS}
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        self._cells[key].inc(amount)
+
+    def __getitem__(self, key: str) -> int:
+        return self._cells[key].value
+
+
+class LoadShedder:
+    """Overload control for one query session."""
+
+    __slots__ = ("detector", "policy", "stats", "_clock", "_tracer", "_label")
+
+    def __init__(
+        self,
+        detector: OverloadDetector,
+        policy: SheddingPolicy,
+        clock,
+        metrics: MetricsRegistry | ScopedRegistry | None = None,
+        tracer: Tracer = NULL_TRACER,
+        label: str = "",
+    ) -> None:
+        self.detector = detector
+        self.policy = policy
+        self.stats = ShedStats(metrics)
+        self._clock = clock
+        self._tracer = tracer
+        self._label = label
+
+    # -- dispatch hooks -------------------------------------------------------
+    def before_event(self, event, engine) -> bool:
+        """Whether this session should drop ``event`` (skip NFA evaluation)."""
+        overload = self.detector.assess(self._clock.now - event.t, engine.active_runs)
+        if overload is None:
+            return False
+        self.stats.inc("overloads")
+        decision = self.policy.on_overload_event(overload, event, engine)
+        if decision is None:
+            return False
+        self.stats.inc("events_dropped")
+        self._trace(decision.action, overload, decision.fields)
+        return True
+
+    def after_event(self, event, engine, strategy) -> int:
+        """Evict partial matches if the policy says so; returns the count."""
+        overload = self.detector.assess(self._clock.now - event.t, engine.active_runs)
+        if overload is None:
+            return 0
+        self.stats.inc("overloads")
+        decision = self.policy.on_overload_post(overload, engine, strategy)
+        if decision is None:
+            return 0
+        victims = int(decision.fields.get("victims", 0))
+        self.stats.inc("runs_shed", victims)
+        self._trace(decision.action, overload, decision.fields)
+        return victims
+
+    # -- tracing --------------------------------------------------------------
+    def _trace(self, action: str, overload, fields: dict[str, Any]) -> None:
+        tracer = self._tracer
+        if tracer.enabled:
+            record: dict[str, Any] = {
+                "policy": self.policy.name,
+                "action": action,
+                "lag": overload.lag,
+                "latency_bound": self.detector.latency_bound,
+                "active": overload.active,
+                "run_budget": self.detector.run_budget,
+            }
+            if self._label:
+                record["query"] = self._label
+            record.update(fields)
+            tracer.emit(CAT_SHED, "shed_decision", self._clock.now, **record)
+
+    def __repr__(self) -> str:
+        return f"LoadShedder({self.policy.name}, {self.detector!r})"
+
+
+# Re-exported action names for dispatch-side checks and tests.
+__all__ += ["ACTION_DROP_EVENT", "ACTION_SHED_RUNS"]

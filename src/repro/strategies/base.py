@@ -41,7 +41,9 @@ from repro.strategies.obligations import (  # noqa: F401
 )
 from repro.strategies.stats import (
     DEGRADATION_COUNTER_KEYS,
+    RUN_DROP_REASONS,
     STRATEGY_COUNTER_KEYS,
+    DropStats,
     StrategyStats,
 )
 
@@ -53,6 +55,8 @@ __all__ = [
     "FAIL_CLOSED",
     "STRATEGY_COUNTER_KEYS",
     "DEGRADATION_COUNTER_KEYS",
+    "DropStats",
+    "RUN_DROP_REASONS",
 ]
 
 
@@ -65,6 +69,7 @@ class FetchStrategy(ObligationResolution, FetchPlane):
     def __init__(self) -> None:
         self.ctx: RuntimeContext | None = None
         self.stats = StrategyStats()
+        self.drops = DropStats()
         # Purpose of each in-flight async request, deciding the cache tier
         # its response enters (T1 certain for lazy fetches, T2 speculative
         # for prefetches).
@@ -87,9 +92,11 @@ class FetchStrategy(ObligationResolution, FetchPlane):
     def attach(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
         if ctx.metrics is not None:
-            # Rebind the (still-empty) stats façade onto the framework's
-            # shared registry so snapshots include the fetch.* counters.
+            # Rebind the (still-empty) stats façades onto the framework's
+            # shared registry so snapshots include the fetch.* and
+            # engine.dropped.* counters.
             self.stats = StrategyStats(ctx.metrics)
+            self.drops = DropStats(ctx.metrics)
 
     @property
     def total_stall_time(self) -> float:
@@ -136,11 +143,12 @@ class FetchStrategy(ObligationResolution, FetchPlane):
             )
 
     def on_run_dropped(self, run: Run, reason: str) -> None:
-        # Obligations that ride a run out of its window (or to end of
-        # stream) expire deterministically with the run: the data they
-        # waited for never arrived in time to matter.
+        self.drops.record(reason)
+        # Obligations that ride a run out of its window, to end of stream,
+        # or into a shedding eviction expire deterministically with the run:
+        # the data they waited for never arrived in time to matter.
         tracer = self.ctx.tracer
-        if run.obligations and reason in ("expired", "flushed"):
+        if run.obligations and reason in ("expired", "flushed", "shed"):
             self.stats.obligations_expired += len(run.obligations)
             if tracer.enabled:
                 tracer.emit(

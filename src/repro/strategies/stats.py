@@ -14,7 +14,13 @@ from typing import Any
 
 from repro.obs.registry import MetricsRegistry, ScopedRegistry
 
-__all__ = ["StrategyStats", "STRATEGY_COUNTER_KEYS", "DEGRADATION_COUNTER_KEYS"]
+__all__ = [
+    "StrategyStats",
+    "STRATEGY_COUNTER_KEYS",
+    "DEGRADATION_COUNTER_KEYS",
+    "DropStats",
+    "RUN_DROP_REASONS",
+]
 
 STRATEGY_COUNTER_KEYS = (
     "blocking_stalls",
@@ -43,6 +49,46 @@ DEGRADATION_COUNTER_KEYS = (
     "obligations_expired",
     "stale_serves",
 )
+
+
+# Every reason the engine passes to ``on_run_dropped``, in report order.
+# ``consumed`` is a run retiring into a match; the rest are losses.
+RUN_DROP_REASONS = (
+    "consumed",
+    "expired",
+    "obligation_failed",
+    "flushed",
+    "shed",
+)
+
+
+class DropStats:
+    """Per-reason run-drop counters (``engine.dropped.<reason>`` cells).
+
+    Same registry-view pattern as :class:`StrategyStats`: the reason list
+    above is the single source of truth, every drop lands on a registered
+    cell, and an unknown reason raises instead of vanishing.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, registry: MetricsRegistry | ScopedRegistry | None = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._cells = {
+            reason: registry.counter(f"engine.dropped.{reason}") for reason in RUN_DROP_REASONS
+        }
+
+    def record(self, reason: str) -> None:
+        cell = self._cells.get(reason)
+        if cell is None:
+            raise ValueError(f"unregistered run-drop reason {reason!r}; add it to RUN_DROP_REASONS")
+        cell.inc()
+
+    def as_dict(self) -> dict[str, int]:
+        return {f"dropped.{reason}": self._cells[reason].value for reason in RUN_DROP_REASONS}
+
+    def __getitem__(self, reason: str) -> int:
+        return self._cells[reason].value
 
 
 class StrategyStats:

@@ -1,6 +1,7 @@
-"""Workload generators: synthetic Q1/Q2, fraud, bushfire, cluster monitoring."""
+"""Workload generators: synthetic Q1/Q2, bursty overload, fraud, bushfire, cluster."""
 
 from repro.workloads.base import PseudoRandomSet, Workload
+from repro.workloads.bursty import BurstyConfig, bursty_workload, make_bursty_stream
 from repro.workloads.bushfire import BushfireConfig, bushfire_query, bushfire_workload
 from repro.workloads.cluster import ClusterConfig, cluster_query, cluster_workload
 from repro.workloads.fraud import FraudConfig, fraud_query, fraud_workload
@@ -16,6 +17,9 @@ __all__ = [
     "SyntheticConfig",
     "q1_workload",
     "q2_workload",
+    "BurstyConfig",
+    "bursty_workload",
+    "make_bursty_stream",
     "FraudConfig",
     "fraud_query",
     "fraud_workload",

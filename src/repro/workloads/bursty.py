@@ -1,0 +1,128 @@
+"""Bursty/skewed arrivals: the overload scenario for the shedding plane.
+
+The synthetic Q1 scenario with a phase-modulated arrival process: calm
+phases at the §7.1 mean inter-arrival gap alternate with bursts whose gap
+is divided by ``overload_factor`` (~5x the sustainable rate by default) and
+whose partition ids concentrate on a small hot set.  Both distortions
+compound: the burst delivers events faster than the engine's per-guard cost
+budget can absorb, while the skew multiplies the live partial matches per
+hot partition — exactly the regime where queueing lag (virtual clock past
+the event's arrival time) grows without bound unless something is dropped.
+
+The query, remote tables and latency model are Q1's own, so recall against
+the unshedded run is directly comparable: ``benchmarks/bench_shedding.py``
+replays this stream under every shedding policy and reports recall vs.
+detection latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.event import Event
+from repro.events.stream import Stream
+from repro.remote.transport import UniformLatency
+from repro.sim.rng import make_rng
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import EVENT_TYPES, SyntheticConfig, make_store, q1_query
+
+__all__ = ["BurstyConfig", "make_bursty_stream", "bursty_workload"]
+
+
+@dataclass(frozen=True)
+class BurstyConfig:
+    """Knobs of the overload scenario."""
+
+    n_events: int = 8_000
+    #: Mean inter-arrival gap during calm phases (the §7.1 value).
+    calm_gap_us: float = 25.0
+    #: Burst arrival rate as a multiple of the calm rate (gap divided by this).
+    overload_factor: float = 5.0
+    #: Phase lengths, in events: ``calm_events`` calm, then ``burst_events``
+    #: bursting, repeating.
+    calm_events: int = 400
+    burst_events: int = 400
+    id_domain: int = 20
+    #: During bursts, ids concentrate on the first ``hot_ids`` ids with
+    #: probability ``hot_fraction`` (partition skew multiplies run counts).
+    hot_ids: int = 5
+    hot_fraction: float = 0.7
+    key_domain: int = 100_000
+    remote_density: float = 0.35
+    window_events: int = 250
+    latency_low_us: float = 10.0
+    latency_high_us: float = 100.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_events < 0:
+            raise ValueError("n_events must be non-negative")
+        if self.calm_gap_us <= 0:
+            raise ValueError("calm_gap_us must be positive")
+        if self.overload_factor < 1.0:
+            raise ValueError(f"overload_factor must be >= 1: {self.overload_factor}")
+        if self.calm_events < 1 or self.burst_events < 1:
+            raise ValueError("phase lengths must be >= 1 event")
+        if not 1 <= self.hot_ids <= self.id_domain:
+            raise ValueError(f"hot_ids must be in [1, id_domain]: {self.hot_ids}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1]: {self.hot_fraction}")
+
+    def synthetic(self) -> SyntheticConfig:
+        """The equivalent calm-only scenario (query/store/capacity source)."""
+        return SyntheticConfig(
+            n_events=self.n_events,
+            mean_gap_us=self.calm_gap_us,
+            id_domain=self.id_domain,
+            key_domain=self.key_domain,
+            remote_density=self.remote_density,
+            window_events=self.window_events,
+            seed=self.seed,
+        )
+
+
+def make_bursty_stream(config: BurstyConfig) -> Stream:
+    """Phase-modulated Poisson arrivals with hot-partition skew in bursts."""
+    rng = make_rng(config.seed)
+    burst_gap = config.calm_gap_us / config.overload_factor
+    cycle = config.calm_events + config.burst_events
+    events = []
+    t = 0.0
+    for index in range(config.n_events):
+        bursting = index % cycle >= config.calm_events
+        gap = burst_gap if bursting else config.calm_gap_us
+        t += rng.expovariate(1.0 / gap)
+        if bursting and rng.random() < config.hot_fraction:
+            event_id = rng.randint(1, config.hot_ids)
+        else:
+            event_id = rng.randint(1, config.id_domain)
+        events.append(
+            Event(
+                t,
+                {
+                    "type": rng.choice(EVENT_TYPES),
+                    "id": event_id,
+                    "v1": rng.randint(1, config.key_domain),
+                    "v2": rng.randint(1, config.key_domain),
+                },
+            )
+        )
+    return Stream(events, validate=False)
+
+
+def bursty_workload(config: BurstyConfig | None = None) -> Workload:
+    """Q1 under phase-modulated overload (the shedding benchmark scenario)."""
+    config = config if config is not None else BurstyConfig()
+    synthetic = config.synthetic()
+    return Workload(
+        name="bursty-q1",
+        query=q1_query(synthetic),
+        store=make_store(synthetic),
+        stream=make_bursty_stream(config),
+        latency_model=UniformLatency(config.latency_low_us, config.latency_high_us),
+        notes={
+            "cache_capacity": max(config.key_domain // 10, 1),
+            "config": config,
+            "overload_factor": config.overload_factor,
+        },
+    )

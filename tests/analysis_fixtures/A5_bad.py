@@ -1,0 +1,9 @@
+# eires-fixture: place=core/rogue_shedder.py
+"""A LoadShedder wired outside the composition root — A5 flags."""
+from repro.shedding import LoadShedder, OverloadDetector, make_shedding_policy
+
+
+def attach_shedding(session, clock):
+    detector = OverloadDetector(latency_bound=100.0)
+    policy = make_shedding_policy("runs", automaton=session.automaton, omega=0.5)
+    session.shedder = LoadShedder(detector, policy, clock)

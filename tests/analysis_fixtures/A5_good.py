@@ -1,0 +1,7 @@
+# eires-fixture: place=core/uses_builder.py
+"""Shedding requested through config; RuntimeBuilder wires the plane."""
+from repro.core.config import EiresConfig
+
+
+def overloaded_config() -> EiresConfig:
+    return EiresConfig(shed_policy="runs", latency_bound=100.0)
