@@ -7,15 +7,20 @@ Usage::
     python -m repro.cli compare --workload q1 --json
     python -m repro.cli trace --workload q1 --strategy Hybrid \\
         --trace-out q1.trace.json --metrics-out q1.metrics.json
+    python -m repro.cli report --workload q1 --strategy Hybrid \\
+        --slo-latency-bound 400 --series-interval 500 --series-out q1.series.jsonl
     python -m repro.cli describe --workload fraud
 
 ``compare`` replays a named workload under the selected strategies and
 prints the paper-style percentile table (``--json`` emits the rows as JSON
 instead; ``--trace-out`` captures all runs into one trace file, one track
 per strategy); ``trace`` replays one strategy with full lifecycle tracing
-and decision provenance and verifies the trace explains the run;
-``describe`` prints the compiled evaluation automaton (states, transitions,
-remote sites) of the workload's query.
+and decision provenance and verifies the trace explains the run; ``report``
+runs one traced strategy and renders a run health report — per-match
+latency attribution, SLO burn rates, metric series, provenance replay —
+with optional folded-flamegraph and series JSONL exports; ``describe``
+prints the compiled evaluation automaton (states, transitions, remote
+sites) of the workload's query.
 """
 
 from __future__ import annotations
@@ -27,12 +32,21 @@ from typing import Callable
 
 from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
+from repro.core.framework import EIRES
 from repro.engine.engine import GREEDY, NON_GREEDY
-from repro.metrics.reporting import format_fault_summary
+from repro.metrics.reporting import format_fault_summary, format_health_report
 from repro.nfa.compiler import compile_query
-from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics_snapshot
+from repro.obs.export import (
+    write_chrome_trace,
+    write_folded,
+    write_jsonl,
+    write_metrics_snapshot,
+)
 from repro.obs.provenance import replay_trace
+from repro.obs.series import write_series_jsonl
+from repro.obs.spans import aggregate_spans
 from repro.obs.trace import MemorySink, Tracer
+from repro.remote.transport import TRANSPORT_BATCH_KEYS_METRIC
 from repro.remote.faults import FAULT_PROFILES
 from repro.shedding.policy import SHED_NONE, SHED_POLICIES
 from repro.strategies.base import FAIL_CLOSED, FAIL_OPEN
@@ -106,6 +120,31 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shedding_args(trace)
     _add_observability_args(trace)
 
+    report = subparsers.add_parser(
+        "report", help="run health report: latency attribution, SLOs, series")
+    report.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
+    report.add_argument("--events", type=int, default=6_000)
+    report.add_argument("--strategy", choices=ALL_STRATEGIES, default="Hybrid")
+    report.add_argument("--policy", choices=(GREEDY, NON_GREEDY), default=GREEDY)
+    report.add_argument("--cache", choices=(CACHE_COST, CACHE_LRU), default=CACHE_COST)
+    report.add_argument("--capacity", type=int, default=None)
+    report.add_argument("--fault-profile", default="none", metavar="PROFILE")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the health report text to PATH")
+    report.add_argument("--folded-out", default=None, metavar="PATH",
+                        help="write latency-attribution spans as flamegraph "
+                             "folded stacks to PATH")
+    report.add_argument("--series-out", default=None, metavar="PATH",
+                        help="write the sampled metric series as JSONL to PATH "
+                             "(needs --series-interval)")
+    report.add_argument("--series-interval", type=float, default=0.0, metavar="US",
+                        help="metric sampling cadence in virtual us "
+                             "(0 disables series sampling; default: 0)")
+    _add_slo_args(report)
+    _add_batching_args(report)
+    _add_shedding_args(report)
+    _add_observability_args(report)
+
     describe = subparsers.add_parser("describe", help="print a workload's automaton")
     describe.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
     return parser
@@ -156,6 +195,31 @@ def _shedding_fields(args: argparse.Namespace) -> dict:
     }
 
 
+def _add_slo_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--slo-latency-bound", type=float, default=None, metavar="US",
+                           help="SLO: p95 detection latency must stay below this "
+                                "many virtual us")
+    subparser.add_argument("--slo-recall-floor", type=float, default=None,
+                           metavar="FRACTION",
+                           help="SLO: fraction of events that must survive "
+                                "shedding (e.g. 0.95)")
+    subparser.add_argument("--slo-fetch-budget", type=float, default=None,
+                           metavar="RPS",
+                           help="SLO: max wire requests per virtual second")
+    subparser.add_argument("--slo-in-detector", action="store_true",
+                           help="feed SLO burn rates into the shedding overload "
+                                "detector (needs --shed-policy)")
+
+
+def _slo_fields(args: argparse.Namespace) -> dict:
+    return {
+        "slo_latency_bound": args.slo_latency_bound,
+        "slo_recall_floor": args.slo_recall_floor,
+        "slo_fetch_budget": args.slo_fetch_budget,
+        "slo_in_detector": args.slo_in_detector,
+    }
+
+
 def _add_observability_args(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--trace-out", default=None, metavar="PATH",
                            help="write the lifecycle trace to PATH")
@@ -192,9 +256,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for strategy in args.strategies:
         tracer = Tracer(sink, track=strategy) if sink is not None else None
         result = run_strategy(workload, strategy, config, tracer=tracer)
-        rows.append(result.summary())
+        row = result.summary()
         if result.metrics is not None:
             metrics[strategy] = result.metrics
+            # Surface the batch-size distribution next to the dropped-run
+            # ledger in machine-readable rows (flat keys, diffable).
+            histogram = result.metrics.get(TRANSPORT_BATCH_KEYS_METRIC)
+            if isinstance(histogram, dict):
+                row.update({
+                    f"{TRANSPORT_BATCH_KEYS_METRIC}.{key}": value
+                    for key, value in histogram.items()
+                })
+        rows.append(row)
     if sink is not None:
         _write_trace(sink.records, args)
     if args.metrics_out is not None:
@@ -257,6 +330,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if replay["problems"] else 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload](args.events)
+    capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
+    config = EiresConfig(
+        policy=args.policy,
+        cache_policy=args.cache,
+        cache_capacity=capacity,
+        fault_profile=args.fault_profile,
+        series_interval=args.series_interval,
+        **_slo_fields(args),
+        **_batching_fields(args),
+        **_shedding_fields(args),
+    )
+    sink = MemorySink()
+    eires = EIRES(
+        workload.query,
+        workload.store,
+        workload.latency_model,
+        strategy=args.strategy,
+        config=config,
+        tracer=Tracer(sink, track=args.strategy),
+    )
+    result = eires.run(workload.stream)
+    replay = replay_trace(sink.records)
+    attribution = aggregate_spans(sink.records)
+    slo = eires.runtime.slo
+    slo_status = slo.status(eires.clock.now) if slo is not None else None
+    series = result.series
+    title = f"{args.workload} / {args.strategy} run health"
+    if args.fault_profile != "none":
+        title += f" / faults={args.fault_profile}"
+    report = format_health_report(
+        title,
+        result.summary(),
+        attribution,
+        slo_status=slo_status,
+        replay=replay,
+        series_samples=len(series) if series is not None else None,
+    )
+    print(report)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+            handle.write("\n")
+        print(f"report: -> {args.out}")
+    if args.folded_out is not None:
+        stacks = write_folded(sink.records, args.folded_out)
+        print(f"folded spans: {stacks} stacks -> {args.folded_out}")
+    if args.series_out is not None:
+        samples = write_series_jsonl(series or [], args.series_out)
+        print(f"series: {samples} samples -> {args.series_out}")
+    if args.trace_out is not None:
+        _write_trace(sink.records, args)
+        print(f"trace: {len(sink.records)} records -> {args.trace_out} ({args.trace_format})")
+    if args.metrics_out is not None:
+        write_metrics_snapshot({args.strategy: result.metrics}, args.metrics_out)
+        print(f"metrics: -> {args.metrics_out}")
+    for problem in replay["problems"]:
+        print(f"  {problem}", file=sys.stderr)
+    return 1 if replay["problems"] else 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     workload = WORKLOADS[args.workload](0)
     automaton = compile_query(workload.query)
@@ -270,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "describe":
         return _cmd_describe(args)
     raise AssertionError(f"unhandled command {args.command!r}")

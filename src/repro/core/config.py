@@ -89,6 +89,21 @@ class EiresConfig:
     shed_event_threshold: float = 0.0
     omega_shed: float = 0.5
 
+    # Observability: percentile surfaces, the virtual-time series sampler,
+    # and the SLO/health plane.  The defaults build no sampler and no SLO
+    # plane — byte-identical (and metric-identical) to a build predating
+    # them.  ``series_interval`` is the sampling cadence in virtual us
+    # (0 = off); the ``slo_*`` objectives are evaluated as burn rates into
+    # registered ``slo.*`` metrics, and ``slo_in_detector`` lets the
+    # shedding OverloadDetector treat a burn above 1.0 as overload.
+    report_percentiles: tuple = (5, 25, 50, 75, 95, 99)
+    histogram_percentiles: tuple = (50, 95, 99)
+    series_interval: float = 0.0
+    slo_latency_bound: float | None = None
+    slo_recall_floor: float | None = None
+    slo_fetch_budget: float | None = None
+    slo_in_detector: bool = False
+
     # Virtual-time cost model
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -139,9 +154,17 @@ class EiresConfig:
             raise ValueError(f"latency_bound must be positive: {self.latency_bound}")
         if self.run_budget is not None and self.run_budget < 1:
             raise ValueError(f"run_budget must be >= 1: {self.run_budget}")
-        if self.shed_policy != SHED_NONE and self.latency_bound is None and self.run_budget is None:
+        if (
+            self.shed_policy != SHED_NONE
+            and self.latency_bound is None
+            and self.run_budget is None
+            and not self.slo_in_detector
+        ):
+            # SLO-consuming detectors may shed on burn rates alone; everything
+            # else needs an explicit overload bound to ever trigger.
             raise ValueError(
-                f"shed_policy={self.shed_policy!r} needs --latency-bound and/or --run-budget"
+                f"shed_policy={self.shed_policy!r} needs --latency-bound, "
+                f"--run-budget, and/or --slo-in-detector"
             )
         if not 0.0 <= self.omega_shed <= 1.0:
             raise ValueError(f"omega_shed must be in [0, 1]: {self.omega_shed}")
@@ -149,6 +172,32 @@ class EiresConfig:
             raise ValueError(
                 f"shed_event_threshold must be non-negative: {self.shed_event_threshold}"
             )
+        for name in ("report_percentiles", "histogram_percentiles"):
+            qs = getattr(self, name)
+            if not qs:
+                raise ValueError(f"{name} must name at least one percentile")
+            for q in qs:
+                if not 0 <= q <= 100:
+                    raise ValueError(f"{name} entries must be in [0, 100]: {q}")
+        if self.series_interval < 0:
+            raise ValueError(f"series_interval must be non-negative: {self.series_interval}")
+        if self.slo_latency_bound is not None and self.slo_latency_bound <= 0:
+            raise ValueError(f"slo_latency_bound must be positive: {self.slo_latency_bound}")
+        if self.slo_recall_floor is not None and not 0.0 <= self.slo_recall_floor <= 1.0:
+            raise ValueError(f"slo_recall_floor must be in [0, 1]: {self.slo_recall_floor}")
+        if self.slo_fetch_budget is not None and self.slo_fetch_budget <= 0:
+            raise ValueError(f"slo_fetch_budget must be positive: {self.slo_fetch_budget}")
+        if self.slo_in_detector and not self.has_slo:
+            raise ValueError("slo_in_detector needs at least one slo_* objective set")
+
+    @property
+    def has_slo(self) -> bool:
+        """Whether any SLO objective is declared (builds the SloPlane)."""
+        return (
+            self.slo_latency_bound is not None
+            or self.slo_recall_floor is not None
+            or self.slo_fetch_budget is not None
+        )
 
     def with_(self, **changes) -> "EiresConfig":
         """A copy with some fields replaced (sweep convenience)."""

@@ -477,12 +477,15 @@ class Engine:
                 return
         last_event_t = max(event.t for event in run.env.values())
         fetch_wait = getattr(strategy, "total_stall_time", 0.0) - fetch_wait_before
+        spans = getattr(strategy, "spans", None)
+        span = spans.capture(last_event_t, self.clock.now) if spans is not None else None
         matches.append(
             MatchRecord(
                 events=run.env,
                 last_event_t=last_event_t,
                 detected_at=self.clock.now,
                 fetch_wait=fetch_wait,
+                span=span,
             )
         )
 

@@ -58,9 +58,15 @@ class CostModel:
 
 
 class MatchRecord:
-    """One complete match, with its latency decomposition."""
+    """One complete match, with its latency decomposition.
 
-    __slots__ = ("events", "last_event_t", "detected_at", "fetch_wait")
+    ``span`` is the critical-path attribution captured by
+    :class:`repro.obs.spans.SpanTracker` at emission time (a dict of
+    :data:`~repro.obs.spans.SPAN_COMPONENTS` summing to :attr:`latency`);
+    ``None`` when tracing is disabled.
+    """
+
+    __slots__ = ("events", "last_event_t", "detected_at", "fetch_wait", "span")
 
     def __init__(
         self,
@@ -68,11 +74,13 @@ class MatchRecord:
         last_event_t: float,
         detected_at: float,
         fetch_wait: float = 0.0,
+        span: dict[str, float] | None = None,
     ) -> None:
         self.events = dict(events)
         self.last_event_t = last_event_t
         self.detected_at = detected_at
         self.fetch_wait = fetch_wait
+        self.span = span
 
     @property
     def latency(self) -> float:

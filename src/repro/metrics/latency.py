@@ -2,10 +2,12 @@
 
 The paper reports the 5th, 25th, 50th, 75th, and 95th percentiles of the
 per-match detection latency — the time between the arrival of the last event
-of a match and the match's detection.  :class:`LatencyCollector` accumulates
-per-match latencies (virtual microseconds) and computes those percentiles,
-optionally after exponential smoothing over a sliding window as the paper's
-latency definition ``l(k)`` allows.
+of a match and the match's detection; the SLO plane adds the tail p99 on
+top.  :class:`LatencyCollector` accumulates per-match latencies (virtual
+microseconds) and computes those percentiles, optionally after exponential
+smoothing over a sliding window as the paper's latency definition ``l(k)``
+allows.  The reported quantile set is configurable per collector (and from
+``EiresConfig.report_percentiles`` at the framework level).
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from typing import Iterable, Sequence
 
 __all__ = ["LatencyCollector", "percentile", "REPORT_PERCENTILES"]
 
-REPORT_PERCENTILES = (5, 25, 50, 75, 95)
+REPORT_PERCENTILES = (5, 25, 50, 75, 95, 99)
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -49,12 +51,19 @@ class LatencyCollector:
     ``smoothing_window`` > 1 replaces each sample by the mean of the last
     ``w`` samples before percentile computation, implementing the paper's
     optional smoothing; the default of 1 reports raw per-match latencies.
+    ``qs`` sets the default quantile set reported by :meth:`percentiles`.
     """
 
-    def __init__(self, smoothing_window: int = 1) -> None:
+    def __init__(
+        self, smoothing_window: int = 1, qs: Sequence[float] = REPORT_PERCENTILES
+    ) -> None:
         if smoothing_window < 1:
             raise ValueError(f"smoothing window must be >= 1: {smoothing_window}")
+        for q in qs:
+            if not 0 <= q <= 100:
+                raise ValueError(f"percentile out of range: {q}")
         self._smoothing_window = smoothing_window
+        self._qs = tuple(qs)
         self._samples: list[float] = []
 
     def record(self, latency: float) -> None:
@@ -86,8 +95,10 @@ class LatencyCollector:
             smoothed.append(running / min(index + 1, window))
         return smoothed
 
-    def percentiles(self, qs: Sequence[float] = REPORT_PERCENTILES) -> dict[float, float]:
+    def percentiles(self, qs: Sequence[float] | None = None) -> dict[float, float]:
         """Percentile summary; empty collectors report all-zero (no matches)."""
+        if qs is None:
+            qs = self._qs
         values = sorted(self._effective_samples())
         if not values:
             return {q: 0.0 for q in qs}

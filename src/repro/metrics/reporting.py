@@ -18,6 +18,7 @@ __all__ = [
     "format_comparison",
     "speedups",
     "format_fault_summary",
+    "format_health_report",
     "FAULT_COLUMNS",
 ]
 
@@ -113,3 +114,87 @@ def format_fault_summary(rows: Sequence[Mapping[str, Any]], title: str = "Fault 
     if columns == ["strategy"]:
         return f"{title}: no faults observed"
     return format_table(title, rows, columns, float_format="{:.0f}")
+
+
+def format_health_report(
+    title: str,
+    summary: Mapping[str, Any],
+    attribution: Mapping[str, Any],
+    slo_status: Mapping[str, Any] | None = None,
+    replay: Mapping[str, Any] | None = None,
+    series_samples: int | None = None,
+) -> str:
+    """The ``repro.cli report`` health report, as plain diffable text.
+
+    ``attribution`` is :func:`repro.obs.spans.aggregate_spans` output;
+    ``slo_status`` is :meth:`repro.obs.slo.SloPlane.status` output;
+    ``replay`` is :func:`repro.obs.provenance.replay_trace` output.  Every
+    section degrades gracefully when its input is absent.
+    """
+    lines = [title, "=" * len(title)]
+    headline = [f"matches={summary.get('matches', '?')}"]
+    quantile_keys = [key for key in summary if key.startswith("p") and key[1:].isdigit()]
+    for key in sorted(quantile_keys, key=lambda name: int(name[1:])):
+        headline.append(f"{key}={summary[key]}us")
+    if "throughput_eps" in summary:
+        headline.append(f"throughput={summary['throughput_eps']} ev/s")
+    lines.append("  ".join(headline))
+    lines.append("")
+
+    span_rows = [
+        {
+            "component": name,
+            "total_us": data["total"],
+            "mean_us": data["mean"],
+            "share": data["share"],
+        }
+        for name, data in attribution.get("components", {}).items()
+    ]
+    if attribution.get("matches"):
+        lines.append(
+            format_table(
+                f"Latency attribution ({attribution['matches']} matches, "
+                f"{attribution['latency_total']:.1f}us total)",
+                span_rows,
+                ("component", "total_us", "mean_us", "share"),
+                float_format="{:.3f}",
+            )
+        )
+    else:
+        lines.append("Latency attribution: no matches (no spans to fold)")
+    lines.append("")
+
+    if slo_status is not None:
+        objectives = slo_status.get("objectives", {})
+        if objectives:
+            slo_rows = [
+                {
+                    "objective": name,
+                    "target": data["target"],
+                    "burn": data["burn"],
+                    "status": "OK" if data["ok"] else "BREACH",
+                }
+                for name, data in objectives.items()
+            ]
+            lines.append(
+                format_table(
+                    f"SLO status (worst burn {slo_status['worst_burn']:.3f})",
+                    slo_rows,
+                    ("objective", "target", "burn", "status"),
+                    float_format="{:.3f}",
+                )
+            )
+        else:
+            lines.append("SLO status: no objectives declared")
+        lines.append("")
+
+    if series_samples is not None:
+        lines.append(f"Series: {series_samples} samples")
+    if replay is not None:
+        lines.append(
+            f"Provenance replay: {replay.get('checked_spans', 0)} spans, "
+            f"{replay.get('checked_eq7', 0)} Eq.7, {replay.get('checked_eq8', 0)} Eq.8, "
+            f"{replay.get('checked_shed', 0)} shed decisions; "
+            f"{len(replay.get('problems', ()))} inconsistencies"
+        )
+    return "\n".join(line for line in lines if line is not None)

@@ -16,13 +16,16 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, Mapping
 
-from repro.obs.trace import CATEGORIES
+from repro.obs.spans import SPAN_COMPONENTS, SPAN_RECORD_NAME
+from repro.obs.trace import CAT_SPAN, CATEGORIES
 
 __all__ = [
     "write_jsonl",
     "chrome_trace",
     "write_chrome_trace",
     "write_metrics_snapshot",
+    "folded_spans",
+    "write_folded",
 ]
 
 _META = ("seq", "t", "cat", "name", "track", "dur")
@@ -120,3 +123,38 @@ def write_metrics_snapshot(snapshots: Mapping[str, Any], path: str) -> None:
     """Persist metrics snapshots (e.g. ``{strategy: registry.snapshot()}``)."""
     with open(path, "w") as handle:
         json.dump(snapshots, handle, indent=2, sort_keys=True, default=repr)
+
+
+def folded_spans(records: Iterable[Mapping[str, Any]]) -> list[str]:
+    """Latency-attribution spans as flamegraph *folded* stack lines.
+
+    One line per ``track;match;component`` stack with the component's total
+    virtual microseconds (rounded to integers, zero-weight stacks omitted)
+    — the input format of ``flamegraph.pl`` and every folded-stack viewer.
+    Lines are sorted, so the export is diffable.
+    """
+    totals: dict[tuple[str, str], int] = {}
+    for record in records:
+        if record.get("cat") != CAT_SPAN or record.get("name") != SPAN_RECORD_NAME:
+            continue
+        track = str(record.get("query") or record.get("track") or "run")
+        for component in SPAN_COMPONENTS:
+            weight = int(round(float(record.get(component, 0.0))))
+            if weight <= 0:
+                continue
+            stack = (track, component)
+            totals[stack] = totals.get(stack, 0) + weight
+    return [
+        f"{track};match;{component} {weight}"
+        for (track, component), weight in sorted(totals.items())
+    ]
+
+
+def write_folded(records: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write the folded-stack export for ``records``; returns the line count."""
+    lines = folded_spans(records)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)

@@ -24,21 +24,33 @@ the action taken, so the overload predicate replays the same way::
 
     overloaded iff (latency_bound set and lag > latency_bound)
                or  (run_budget set and active > run_budget)
+               or  (slo_burn recorded and slo_burn > 1.0)
     drop_event iff utility <= cutoff                     # events policy
     shed_runs  iff victims = min(before - target, before) > 0   # runs policy
+
+Latency-attribution spans (``cat="span"``, ``name="attribution"``) record
+the critical-path decomposition of one match next to its recorded latency;
+the replay proves the accounting is complete::
+
+    sum(components) == latency == dur      # exact up to float tolerance
+    every component >= 0                   # no stall attributed twice
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+from repro.obs.spans import SPAN_COMPONENTS, SPAN_RECORD_NAME
+
 __all__ = [
     "EQ7_FIELDS",
     "EQ8_FIELDS",
     "SHED_FIELDS",
+    "SPAN_FIELDS",
     "verify_eq7_record",
     "verify_eq8_record",
     "verify_shed_record",
+    "verify_span_record",
     "replay_trace",
 ]
 
@@ -51,7 +63,15 @@ EQ8_FIELDS = ("ell", "branch", "deltas", "succ")
 #: Detector inputs every shedding decision must carry.
 SHED_FIELDS = ("policy", "action", "lag", "latency_bound", "active", "run_budget")
 
+#: Fields every span record must carry: the components plus the latency
+#: they decompose.
+SPAN_FIELDS = SPAN_COMPONENTS + ("latency", "dur")
+
 _TOL = 1e-9
+
+#: Absolute slack for span sums: components accumulate over many float
+#: additions, so the per-match comparison scales this by the latency.
+_SPAN_TOL = 1e-6
 
 
 def verify_eq7_record(record: Mapping[str, Any]) -> list[str]:
@@ -125,8 +145,12 @@ def verify_shed_record(record: Mapping[str, Any]) -> list[str]:
         return [f"shed seq={record.get('seq')}: missing fields {missing}"]
     latency_bound = record["latency_bound"]
     run_budget = record["run_budget"]
-    overloaded = (latency_bound is not None and record["lag"] > latency_bound) or (
-        run_budget is not None and record["active"] > run_budget
+    overloaded = (
+        (latency_bound is not None and record["lag"] > latency_bound)
+        or (run_budget is not None and record["active"] > run_budget)
+        # SLO-consuming detectors stamp the burn; a burn above 1.0 is a
+        # legitimate trigger even while lag/population are within bounds.
+        or record.get("slo_burn", 0.0) > 1.0
     )
     if not overloaded:
         problems.append(
@@ -161,11 +185,48 @@ def verify_shed_record(record: Mapping[str, Any]) -> list[str]:
     return problems
 
 
+def verify_span_record(record: Mapping[str, Any]) -> list[str]:
+    """Problems with one latency-attribution span (empty list = consistent).
+
+    The components must be individually non-negative (a negative ``eval``
+    remainder means some stall was attributed twice, or a clock advance was
+    missed) and must sum to the recorded end-to-end latency exactly (up to
+    accumulated float error) — together these prove the decomposition is a
+    complete, non-overlapping account of where the match's latency went.
+    """
+    problems: list[str] = []
+    missing = [field for field in SPAN_FIELDS if field not in record]
+    if missing:
+        return [f"span seq={record.get('seq')}: missing fields {missing}"]
+    latency = record["latency"]
+    tol = _SPAN_TOL * max(1.0, abs(latency))
+    if abs(record["dur"] - latency) > tol:
+        problems.append(
+            f"span seq={record.get('seq')}: dur={record['dur']!r} disagrees with "
+            f"latency={latency!r}"
+        )
+    total = 0.0
+    for name in SPAN_COMPONENTS:
+        value = record[name]
+        if value < -tol:
+            problems.append(
+                f"span seq={record.get('seq')}: component {name}={value!r} is negative"
+            )
+        total += value
+    if abs(total - latency) > tol:
+        problems.append(
+            f"span seq={record.get('seq')}: components sum to {total!r}, "
+            f"recorded latency {latency!r}"
+        )
+    return problems
+
+
 def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     """Replay every decision record; returns counts and collected problems."""
     checked_eq7 = 0
     checked_eq8 = 0
     checked_shed = 0
+    checked_spans = 0
     problems: list[str] = []
     for record in records:
         if record.get("cat") == "prefetch" and record.get("name") == "decision":
@@ -177,9 +238,13 @@ def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         elif record.get("cat") == "shed" and record.get("name") == "shed_decision":
             checked_shed += 1
             problems.extend(verify_shed_record(record))
+        elif record.get("cat") == "span" and record.get("name") == SPAN_RECORD_NAME:
+            checked_spans += 1
+            problems.extend(verify_span_record(record))
     return {
         "checked_eq7": checked_eq7,
         "checked_eq8": checked_eq8,
         "checked_shed": checked_shed,
+        "checked_spans": checked_spans,
         "problems": problems,
     }

@@ -21,7 +21,19 @@ from typing import Any, Iterable
 
 from repro.metrics.latency import percentile
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "ScopedRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScopedRegistry",
+    "HISTOGRAM_PERCENTILES",
+]
+
+#: Default quantile set every histogram snapshot reports; override per
+#: registry (``MetricsRegistry(histogram_qs=...)``) or from
+#: ``EiresConfig.histogram_percentiles`` at the framework level.
+HISTOGRAM_PERCENTILES = (50, 95, 99)
 
 
 class Counter:
@@ -71,16 +83,22 @@ class Histogram:
     discarded as new ones arrive, so long runs report *recent* behaviour
     instead of an all-time average.  ``window=None`` retains everything.
     Totals (``count``/``total``) always cover the full run regardless of the
-    window.
+    window.  ``qs`` is the quantile set :meth:`snapshot` reports.
     """
 
-    __slots__ = ("name", "window", "count", "total", "_samples")
+    __slots__ = ("name", "window", "count", "total", "qs", "_samples")
 
-    def __init__(self, name: str, window: float | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        window: float | None = None,
+        qs: Iterable[float] = HISTOGRAM_PERCENTILES,
+    ) -> None:
         if window is not None and window <= 0:
             raise ValueError(f"histogram window must be positive: {window}")
         self.name = name
         self.window = window
+        self.qs = tuple(qs)
         self.count = 0
         self.total = 0.0
         self._samples: deque[tuple[float, float]] = deque()
@@ -105,8 +123,10 @@ class Histogram:
             return 0.0
         return self.total / self.count
 
-    def percentiles(self, qs: Iterable[float] = (50, 95)) -> dict[float, float]:
+    def percentiles(self, qs: Iterable[float] | None = None) -> dict[float, float]:
         """Percentiles over the retained window (all-zero when empty)."""
+        if qs is None:
+            qs = self.qs
         values = sorted(value for _, value in self._samples)
         if not values:
             return {q: 0.0 for q in qs}
@@ -118,7 +138,7 @@ class Histogram:
             "total": round(self.total, 3),
             "mean": round(self.mean(), 3),
         }
-        for q, value in self.percentiles((50, 95)).items():
+        for q, value in self.percentiles().items():
             data[f"p{int(q)}"] = round(value, 3)
         if self.window is not None:
             data["window_us"] = self.window
@@ -130,9 +150,15 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named metrics, created on first use and listed in one snapshot."""
+    """Named metrics, created on first use and listed in one snapshot.
 
-    def __init__(self) -> None:
+    ``histogram_qs`` is the quantile set every histogram created through
+    this registry reports in its snapshot (the framework plumbs
+    ``EiresConfig.histogram_percentiles`` here).
+    """
+
+    def __init__(self, histogram_qs: Iterable[float] = HISTOGRAM_PERCENTILES) -> None:
+        self.histogram_qs = tuple(histogram_qs)
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -155,7 +181,9 @@ class MetricsRegistry:
         metric = self._histograms.get(name)
         if metric is None:
             self._check_fresh(name)
-            metric = self._histograms[name] = Histogram(name, window=window)
+            metric = self._histograms[name] = Histogram(
+                name, window=window, qs=self.histogram_qs
+            )
         return metric
 
     def _check_fresh(self, name: str) -> None:

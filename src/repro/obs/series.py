@@ -1,0 +1,109 @@
+"""Virtual-time metric series: periodic registry snapshots as diffable JSONL.
+
+A :class:`SeriesSampler` snapshots a :class:`~repro.obs.registry.MetricsRegistry`
+every ``interval`` virtual microseconds while the dispatch loop replays a
+stream, producing a time series of every counter, gauge, and histogram
+percentile in the system.  Because time is virtual and snapshots read model
+state only, two runs with the same seed produce byte-identical series —
+``diff`` on the JSONL output is a regression test.
+
+Row schema (one JSON object per line)::
+
+    {"seq": 3,              # monotone sample number
+     "t": 30000.0,          # the cadence boundary this sample covers
+     "at": 30104.2,         # virtual time the sample was actually taken
+     "final": false,        # true for the end-of-stream sample
+     "metrics": {...}}      # the full registry snapshot
+
+``t`` sticks to the cadence grid (``k * interval``) so series from runs
+with different stall patterns align row-for-row; ``at`` records the first
+event time at or past the boundary (the dispatch loop only observes time
+between events).  When a long stall skips several boundaries, one sample is
+emitted for the last boundary crossed — gaps are visible as missing ``t``
+values, not silently interpolated.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry, ScopedRegistry
+
+__all__ = ["SeriesSampler", "write_series_jsonl", "load_series_jsonl"]
+
+
+class SeriesSampler:
+    """Samples a metrics registry on a fixed virtual-time cadence."""
+
+    __slots__ = ("registry", "interval", "_next_due", "_seq", "_rows")
+
+    def __init__(
+        self, registry: MetricsRegistry | ScopedRegistry, interval: float
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"series interval must be positive: {interval}")
+        self.registry = registry
+        self.interval = float(interval)
+        self._next_due = self.interval
+        self._seq = 0
+        self._rows: list[dict[str, Any]] = []
+
+    def due(self, now: float) -> bool:
+        """Whether ``now`` has crossed the next cadence boundary."""
+        return now >= self._next_due
+
+    def maybe_sample(self, now: float) -> bool:
+        """Take one sample if a boundary was crossed; returns whether it was."""
+        if now < self._next_due:
+            return False
+        boundary = math.floor(now / self.interval) * self.interval
+        self._append(boundary, now, final=False)
+        self._next_due = boundary + self.interval
+        return True
+
+    def finalize(self, now: float) -> None:
+        """The end-of-stream sample (stamped at ``now``, not a boundary)."""
+        self._append(now, now, final=True)
+
+    def _append(self, boundary: float, now: float, final: bool) -> None:
+        self._rows.append(
+            {
+                "seq": self._seq,
+                "t": boundary,
+                "at": now,
+                "final": final,
+                "metrics": self.registry.snapshot(),
+            }
+        )
+        self._seq += 1
+
+    def rows(self) -> list[dict[str, Any]]:
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"SeriesSampler(interval={self.interval}, samples={len(self._rows)})"
+
+
+def write_series_jsonl(rows: list[dict[str, Any]], path: str) -> int:
+    """Write series rows as JSON lines; returns the number written."""
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True, default=repr))
+            handle.write("\n")
+    return len(rows)
+
+
+def load_series_jsonl(path: str) -> list[dict[str, Any]]:
+    """Read series rows back from a JSONL file (the write's round trip)."""
+    rows: list[dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

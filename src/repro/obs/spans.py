@@ -1,0 +1,168 @@
+"""Causal latency spans: a critical-path decomposition per match.
+
+A match's detection latency (§2.2: last-event arrival to detection) is the
+single number every EIRES experiment reports — but on its own it says
+nothing about *where* the time went.  The :class:`SpanTracker` splits each
+match's latency into the six components of :data:`SPAN_COMPONENTS`, each
+measured at the instrumentation point that owns it:
+
+``queueing``
+    Last-event arrival until the session picks the event up — the shared
+    clock was still busy with earlier events or other sessions (the same
+    lag the shedding :class:`~repro.shedding.detector.OverloadDetector`
+    samples).
+``batch_wait``
+    Critical-path time a fetch spent queued in an open batch coalescing
+    window.  Structurally ~0 today: a blocking need *takes over* a queued
+    key and closes its window immediately (see
+    :meth:`repro.remote.transport.Transport._submit_blocking`) — the spans
+    exist to prove that claim, not assume it.
+``wire``
+    The final attempt's transmission time of the critical (longest) fetch
+    of each blocking stall.
+``retry_backoff``
+    Stall time spent on failed attempts and backoff gaps before the
+    critical fetch's final attempt was issued — latency lost to faults.
+``eval``
+    NFA evaluation: guard/predicate/obligation charges of the engine's
+    cost model.  Computed as the remainder of the session's clock advance,
+    so the components sum to the recorded latency *exactly*; a negative
+    remainder would expose a mis-attributed stall, which is what
+    :func:`repro.obs.provenance.verify_span_record` checks.
+``shed_stall``
+    Clock advance spent inside the load shedder's hooks (~0 today; the
+    component keeps the sum honest if a future policy ever charges time).
+
+The tracker is pure instrumentation: it only *reads* the clock and fetch
+tickets, draws no random numbers, and is attached by the composition root
+only when tracing is enabled — a spans-enabled run is byte-identical in
+matches, summary, and RNG stream to a disabled one, and the disabled path
+costs one ``is None`` check per site.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["SPAN_COMPONENTS", "SPAN_RECORD_NAME", "SpanTracker", "aggregate_spans"]
+
+#: The components of one span record, in report order; they sum to the
+#: match's recorded detection latency.
+SPAN_COMPONENTS = ("queueing", "batch_wait", "wire", "retry_backoff", "eval", "shed_stall")
+
+#: Record name of span records within :data:`repro.obs.trace.CAT_SPAN`.
+SPAN_RECORD_NAME = "attribution"
+
+
+class SpanTracker:
+    """Accumulates per-event critical-path time for one query session.
+
+    The dispatch loop calls :meth:`begin_event` when the session picks an
+    event up; the fetch plane adds each blocking stall's decomposition via
+    :meth:`add_stall`; the dispatch loop adds shed-hook time via
+    :meth:`add_shed_stall`; the engine snapshots the decomposition onto the
+    :class:`~repro.engine.interface.MatchRecord` via :meth:`capture` at the
+    moment a match is emitted.
+    """
+
+    __slots__ = ("_pickup", "_batch_wait", "_wire", "_retry_backoff", "_shed_stall")
+
+    def __init__(self) -> None:
+        self._pickup = 0.0
+        self._batch_wait = 0.0
+        self._wire = 0.0
+        self._retry_backoff = 0.0
+        self._shed_stall = 0.0
+
+    def begin_event(self, now: float) -> None:
+        """Mark the session's pickup time and reset the stall buckets."""
+        self._pickup = now
+        self._batch_wait = 0.0
+        self._wire = 0.0
+        self._retry_backoff = 0.0
+        self._shed_stall = 0.0
+
+    def add_stall(self, start: float, end: float, tickets: list) -> None:
+        """Decompose one blocking stall over ``[start, end]``.
+
+        The *critical* ticket — the one whose arrival defines the stall's
+        end, ties broken deterministically — attributes the window:
+        everything after its final attempt went on the wire started is
+        ``wire``; queued-in-a-batch-window overlap is ``batch_wait``; the
+        rest of the pre-wire time is ``retry_backoff`` (failed attempts
+        plus backoff gaps).  The three parts sum to ``end - start`` by
+        construction.
+        """
+        dur = end - start
+        if dur <= 0.0 or not tickets:
+            return
+        critical = max(
+            tickets, key=lambda t: (t.arrives_at, t.issued_at, repr(t.key))
+        )
+        wire_start = min(max(critical.wire_started_at, start), end)
+        wire = end - wire_start
+        batch_wait = max(
+            0.0, min(critical.wire_started_at, end) - max(critical.issued_at, start)
+        )
+        self._wire += wire
+        self._batch_wait += batch_wait
+        self._retry_backoff += dur - wire - batch_wait
+
+    def add_shed_stall(self, dur: float) -> None:
+        """Clock advance charged inside a shedder hook."""
+        self._shed_stall += dur
+
+    def capture(self, last_event_t: float, detected_at: float) -> dict[str, Any]:
+        """The decomposition for a match detected at ``detected_at``.
+
+        ``eval`` is the remainder of the session's clock advance since
+        pickup after the measured stalls — exact by construction, and
+        non-negative iff every stall was attributed correctly.
+        """
+        stalls = self._batch_wait + self._wire + self._retry_backoff + self._shed_stall
+        return {
+            "queueing": self._pickup - last_event_t,
+            "batch_wait": self._batch_wait,
+            "wire": self._wire,
+            "retry_backoff": self._retry_backoff,
+            "eval": (detected_at - self._pickup) - stalls,
+            "shed_stall": self._shed_stall,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracker(pickup={self._pickup:.1f}, wire={self._wire:.1f}, "
+            f"retry={self._retry_backoff:.1f})"
+        )
+
+
+def aggregate_spans(records: list[dict]) -> dict[str, Any]:
+    """Fold span trace records into per-component totals and shares.
+
+    Returns ``{"matches": n, "latency_total": t, "components": {name:
+    {"total", "mean", "share"}}}`` — the numbers behind the health report's
+    attribution table and the folded flamegraph export.
+    """
+    totals = {name: 0.0 for name in SPAN_COMPONENTS}
+    latency_total = 0.0
+    matches = 0
+    for record in records:
+        if record.get("cat") != "span" or record.get("name") != SPAN_RECORD_NAME:
+            continue
+        matches += 1
+        latency_total += float(record.get("latency", 0.0))
+        for name in SPAN_COMPONENTS:
+            totals[name] += float(record.get(name, 0.0))
+    components = {
+        name: {
+            "total": totals[name],
+            "mean": totals[name] / matches if matches else 0.0,
+            "share": totals[name] / latency_total if latency_total > 0 else 0.0,
+        }
+        for name in SPAN_COMPONENTS
+    }
+    return {
+        "matches": matches,
+        "latency_total": latency_total,
+        "components": components,
+    }

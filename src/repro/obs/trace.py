@@ -39,6 +39,7 @@ __all__ = [
     "CAT_FETCH",
     "CAT_OBLIGATION",
     "CAT_MATCH",
+    "CAT_SPAN",
     "CAT_SHED",
     "CATEGORIES",
     "Tracer",
@@ -58,6 +59,8 @@ CAT_CACHE = "cache"              # admit / evict / hit / miss / reject
 CAT_FETCH = "fetch"              # issue / complete / retry / stall / breaker
 CAT_OBLIGATION = "obligation"    # postpone (Eq. 8 provenance) / resolve / expire
 CAT_MATCH = "match"              # match emission
+CAT_SPAN = "span"                # per-match latency attribution (critical-
+                                 # path decomposition; one record per match)
 CAT_SHED = "shed"                # load-shedding decisions (conditional: only
                                  # emitted when a shedding policy is active,
                                  # so it is NOT part of CATEGORIES — the CI
@@ -72,6 +75,7 @@ CATEGORIES = (
     CAT_FETCH,
     CAT_OBLIGATION,
     CAT_MATCH,
+    CAT_SPAN,
 )
 
 

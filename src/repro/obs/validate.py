@@ -4,24 +4,50 @@
 trace-event JSON and contains at least one record for every lifecycle
 category of the EIRES pipeline (see :data:`repro.obs.trace.CATEGORIES`),
 exiting non-zero with a readable report otherwise.
+
+Conditional subsystems are validated on demand: ``--require-batching``
+additionally demands the batched fetch plane's lifecycle records
+(``fetch.enqueue`` window entries and ``fetch.batch_issue`` wire requests),
+and ``--require-shedding`` demands ``shed.shed_decision`` records — a trace
+from a batching or shedding run that is silently missing them fails.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
+from typing import Iterable
 
 from repro.obs.trace import CATEGORIES
 
-__all__ = ["validate_chrome_trace", "main"]
+__all__ = [
+    "validate_chrome_trace",
+    "main",
+    "BATCHING_EVENT_NAMES",
+    "SHEDDING_EVENT_NAMES",
+]
+
+#: Chrome event names (``cat.name``) a batching-enabled trace must contain.
+BATCHING_EVENT_NAMES = ("fetch.enqueue", "fetch.batch_issue")
+
+#: Chrome event names a shedding-enabled trace must contain.
+SHEDDING_EVENT_NAMES = ("shed.shed_decision",)
 
 
-def validate_chrome_trace(path: str, require_categories: bool = True) -> dict[str, int]:
+def validate_chrome_trace(
+    path: str,
+    require_categories: bool = True,
+    require_names: Iterable[str] = (),
+) -> dict[str, int]:
     """Validate a Chrome trace file; returns per-category record counts.
 
-    Raises ``ValueError`` when the file is not valid trace-event JSON or
-    (with ``require_categories``) when any lifecycle category is absent.
+    Raises ``ValueError`` when the file is not valid trace-event JSON, when
+    (with ``require_categories``) any lifecycle category is absent, or when
+    any of the ``require_names`` event names (``"cat.name"`` as rendered by
+    the Chrome exporter) never occurs.
     """
+    required_names = tuple(require_names)
     with open(path) as handle:
         try:
             trace = json.load(handle)
@@ -31,26 +57,52 @@ def validate_chrome_trace(path: str, require_categories: bool = True) -> dict[st
     if not isinstance(events, list):
         raise ValueError(f"{path}: missing 'traceEvents' list")
     counts = {category: 0 for category in CATEGORIES}
+    name_counts = {name: 0 for name in required_names}
     for event in events:
         if not isinstance(event, dict) or "ph" not in event:
             raise ValueError(f"{path}: malformed trace event: {event!r}")
+        if event["ph"] == "M":
+            continue
         category = event.get("cat")
-        if category in counts and event["ph"] != "M":
+        if category in counts:
             counts[category] += 1
+        name = event.get("name")
+        if name in name_counts:
+            name_counts[name] += 1
     if require_categories:
         empty = sorted(category for category, count in counts.items() if count == 0)
         if empty:
             raise ValueError(f"{path}: no records for lifecycle categories: {', '.join(empty)}")
+    missing_names = sorted(name for name, count in name_counts.items() if count == 0)
+    if missing_names:
+        raise ValueError(f"{path}: no records for required events: {', '.join(missing_names)}")
     return counts
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = sys.argv[1:] if argv is None else argv
-    if len(args) != 1:
-        print("usage: python -m repro.obs.validate TRACE.json", file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate a Chrome trace exported by repro.cli trace/report.",
+    )
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require-batching",
+        action="store_true",
+        help=f"require the batching lifecycle events {', '.join(BATCHING_EVENT_NAMES)}",
+    )
+    parser.add_argument(
+        "--require-shedding",
+        action="store_true",
+        help=f"require the shedding decision events {', '.join(SHEDDING_EVENT_NAMES)}",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    required: list[str] = []
+    if args.require_batching:
+        required.extend(BATCHING_EVENT_NAMES)
+    if args.require_shedding:
+        required.extend(SHEDDING_EVENT_NAMES)
     try:
-        counts = validate_chrome_trace(args[0])
+        counts = validate_chrome_trace(args.trace, require_names=required)
     except (OSError, ValueError) as error:
         print(f"trace validation FAILED: {error}", file=sys.stderr)
         return 1

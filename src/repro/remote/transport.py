@@ -211,7 +211,7 @@ class FetchTicket:
     """
 
     __slots__ = ("key", "issued_at", "arrives_at", "element", "ok", "error",
-                 "attempt", "first_issued_at", "final", "queued")
+                 "attempt", "first_issued_at", "final", "queued", "wire_started_at")
 
     def __init__(
         self,
@@ -235,6 +235,11 @@ class FetchTicket:
         self.first_issued_at = issued_at if first_issued_at is None else first_issued_at
         self.final = final
         self.queued = False
+        # When the final attempt's wire transmission began: ``issued_at``
+        # for single-key requests, the window-flush time for batched keys
+        # (they sit queued between issue and flush).  Latency-attribution
+        # spans split a blocking stall into batch_wait/wire on this.
+        self.wire_started_at = issued_at
 
     @property
     def latency(self) -> float:
@@ -574,6 +579,7 @@ class Transport:
             share = latency / n
             for ticket in tickets:
                 ticket.queued = False
+                ticket.wire_started_at = at
                 ticket.arrives_at = at + latency
                 ticket.element = self._store.lookup(ticket.key)
                 ticket.ok = True
@@ -610,6 +616,7 @@ class Transport:
             )
         for ticket in tickets:
             ticket.queued = False
+            ticket.wire_started_at = at
             ticket.arrives_at = at + known_after
             ticket.ok = False
             ticket.error = error

@@ -27,6 +27,9 @@ from repro.engine.engine import Engine
 from repro.events.stream import Stream
 from repro.nfa.compiler import compile_query
 from repro.obs.registry import MetricsRegistry
+from repro.obs.series import SeriesSampler
+from repro.obs.slo import SloPlane, SloSpec
+from repro.obs.spans import SpanTracker
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.query.ast import Query
 from repro.remote.batching import BatchPolicy
@@ -127,7 +130,7 @@ class RuntimeBuilder:
         config = self.config
         tracer = self.tracer
         clock = VirtualClock()
-        metrics = MetricsRegistry()
+        metrics = MetricsRegistry(histogram_qs=config.histogram_percentiles)
         rng = make_rng(config.seed)
         monitor = LatencyMonitor()
         # The fault rng is a *separate* stream spawned after the transport's:
@@ -190,6 +193,12 @@ class RuntimeBuilder:
             # comparisons land on separate rows in the Chrome viewer.
             tracer.track = strategies[0].name
         transport.bind_observability(metrics, tracer)
+        if tracer.enabled:
+            # Latency-attribution spans ride the trace bus: a span tracker
+            # exists exactly when tracing does, so untraced runs keep their
+            # one-``is None``-check hot path.
+            for strategy in strategies:
+                strategy.spans = SpanTracker()
 
         # The shared cache closes over the session list, which is populated
         # below — the cost-based utility function reads it live.
@@ -212,10 +221,32 @@ class RuntimeBuilder:
 
         noise = NoiseModel(config.noise_ratio, seed=config.seed)
         runtime.noise = noise
+        if config.has_slo:
+            # Built before the sessions so an slo_in_detector build can hand
+            # the plane to each session's OverloadDetector.
+            runtime.slo = SloPlane(
+                SloSpec(
+                    latency_bound=config.slo_latency_bound,
+                    recall_floor=config.slo_recall_floor,
+                    fetch_budget=config.slo_fetch_budget,
+                ),
+                metrics,
+            )
         scope_sessions = len(specs) > 1
         for spec, strategy in zip(specs, strategies):
             runtime.sessions.append(
                 self._build_session(runtime, spec, strategy, scoped=scope_sessions)
+            )
+        if runtime.slo is not None:
+            # The burns read live totals through closures: upward imports
+            # stay out of repro.obs, and the plane sees every session.
+            runtime.slo.bind_sources(
+                wire_requests=lambda: transport.wire_requests,
+                events_shed=lambda: sum(
+                    session.shedder.stats["events_dropped"]
+                    for session in runtime.sessions
+                    if session.shedder is not None
+                ),
             )
         return runtime
 
@@ -304,6 +335,7 @@ class RuntimeBuilder:
         detector = OverloadDetector(
             latency_bound=config.latency_bound,
             run_budget=config.run_budget,
+            slo=runtime.slo if config.slo_in_detector else None,
         )
         policy = make_shedding_policy(
             config.shed_policy,
@@ -349,6 +381,9 @@ class Runtime:
         self.cache: Cache | None = None
         self.noise: NoiseModel | None = None
         self.sessions: list[QuerySession] = []
+        # SLO/health plane; None unless the config declares an objective
+        # (the default build carries no slo.* metrics at all).
+        self.slo: SloPlane | None = None
 
     def session(self, name: str) -> QuerySession:
         for session in self.sessions:
@@ -366,6 +401,12 @@ class Runtime:
 
     def run(self, stream: Stream, smoothing_window: int = 1) -> dict[str, RunResult]:
         """Replay ``stream`` through every session; results keyed by query name."""
+        # One fresh sampler per replay: rows cover exactly this stream.
+        sampler = (
+            SeriesSampler(self.metrics, self.config.series_interval)
+            if self.config.series_interval > 0
+            else None
+        )
         results = dispatch(
             self.clock,
             self.sessions,
@@ -373,6 +414,9 @@ class Runtime:
             tracer=self.tracer,
             smoothing_window=smoothing_window,
             shared_cache=self.cache,
+            report_percentiles=self.config.report_percentiles,
+            sampler=sampler,
+            slo=self.slo,
         )
         return {
             session.name: result for session, result in zip(self.sessions, results)

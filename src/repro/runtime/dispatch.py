@@ -27,7 +27,8 @@ from repro.cache.base import Cache
 from repro.events.stream import Stream
 from repro.metrics.latency import LatencyCollector
 from repro.metrics.throughput import ThroughputMeter
-from repro.obs.trace import CAT_EVENT, CAT_MATCH, NULL_TRACER, Tracer
+from repro.obs.spans import SPAN_RECORD_NAME
+from repro.obs.trace import CAT_EVENT, CAT_MATCH, CAT_SPAN, NULL_TRACER, Tracer
 from repro.remote.transport import TRANSPORT_COUNTER_KEYS
 from repro.runtime.session import QuerySession
 from repro.sim.clock import VirtualClock
@@ -59,6 +60,7 @@ class RunResult:
         metrics: dict[str, Any] | None = None,
         throughput_scope: str = THROUGHPUT_RUN,
         shed_stats: dict[str, Any] | None = None,
+        series: list[dict[str, Any]] | None = None,
     ) -> None:
         self.strategy_name = strategy_name
         self.matches = matches
@@ -78,6 +80,10 @@ class RunResult:
         # Shedding counters; None when the session carried no shedding plane,
         # keeping default summaries free of shed.* columns.
         self.shed_stats = shed_stats
+        # Virtual-time series samples (shared across the replay's sessions);
+        # like ``metrics``, not part of summary() — sampling cannot change
+        # reported results.
+        self.series = series
 
     @property
     def match_count(self) -> int:
@@ -129,6 +135,9 @@ def dispatch(
     tracer: Tracer = NULL_TRACER,
     smoothing_window: int = 1,
     shared_cache: Cache | None = None,
+    report_percentiles: Sequence[float] | None = None,
+    sampler=None,
+    slo=None,
 ) -> list[RunResult]:
     """Replay ``stream`` through every session; one :class:`RunResult` each.
 
@@ -140,10 +149,17 @@ def dispatch(
     deployment.  ``shared_cache`` supplies cache statistics for sessions
     whose own strategy runs cacheless but whose runtime still maintains the
     shared cache (multi-query mode).
+
+    ``report_percentiles`` configures the latency quantile surface
+    (``EiresConfig.report_percentiles``); ``sampler`` is an optional
+    :class:`~repro.obs.series.SeriesSampler` snapshotting the metrics
+    registry on its virtual-time cadence; ``slo`` is an optional
+    :class:`~repro.obs.slo.SloPlane` fed every event and match.  All three
+    only *read* model state — they change no run results.
     """
     multi = len(sessions) > 1
     for session in sessions:
-        session.begin_run(smoothing_window=smoothing_window)
+        session.begin_run(smoothing_window=smoothing_window, qs=report_percentiles)
     throughput = ThroughputMeter()
     start = clock.now
 
@@ -153,22 +169,36 @@ def dispatch(
         clock.advance_to(event.t)
         if tracer.enabled:
             tracer.emit(CAT_EVENT, "arrival", event.t, seq_no=event.seq, picked_up=clock.now)
+        if slo is not None:
+            slo.observe_event(clock.now)
         for session in sessions:
             strategy = session.strategy
+            # The span tracker's pickup time is where queueing attribution
+            # ends: everything before it was the event waiting its turn.
+            spans = strategy.spans
+            if spans is not None:
+                spans.begin_event(clock.now)
             strategy.on_event_start(event, index)
             # Overload control (when configured): input-event shedding skips
             # the NFA step entirely; run shedding prunes the population the
             # step just grew.  The substrate work above (async deliveries,
             # scheduled prefetches, estimator refresh) always happens.
             shedder = session.shedder
-            if shedder is not None and shedder.before_event(event, session.engine):
-                continue
+            if shedder is not None:
+                before = clock.now
+                dropped = shedder.before_event(event, session.engine)
+                if spans is not None:
+                    spans.add_shed_stall(clock.now - before)
+                if dropped:
+                    continue
             step_matches = session.engine.process_event(event, strategy)
             strategy.on_event_end(event, step_matches)
             if shedder is not None:
                 shedder.after_event(event, session.engine, strategy)
             for match in step_matches:
                 session.latency.record(match.latency)
+                if slo is not None:
+                    slo.observe_match(match.latency, clock.now)
                 if tracer.enabled:
                     fields: dict[str, Any] = {
                         "latency": match.latency,
@@ -181,8 +211,26 @@ def dispatch(
                     if multi:
                         fields["query"] = session.name
                     tracer.emit(CAT_MATCH, "emit", match.detected_at, **fields)
+                    if match.span is not None:
+                        span_fields: dict[str, Any] = dict(match.span)
+                        if multi:
+                            span_fields["query"] = session.name
+                        tracer.emit(
+                            CAT_SPAN,
+                            SPAN_RECORD_NAME,
+                            match.last_event_t,
+                            dur=match.latency,
+                            latency=match.latency,
+                            **span_fields,
+                        )
             session.matches.extend(step_matches)
         throughput.record_event(clock.now)
+        if sampler is not None and sampler.due(clock.now):
+            # Gauge refresh before the snapshot, so sampled slo.* values
+            # reflect the boundary being recorded.
+            if slo is not None:
+                slo.evaluate(clock.now)
+            sampler.maybe_sample(clock.now)
 
     # Close any batch window still open when the stream ends (each transport
     # exactly once — sessions may share one) so the final deliveries and
@@ -200,6 +248,14 @@ def dispatch(
     for session in sessions:
         session.strategy.end_of_stream()
         session.engine.flush(session.strategy)
+
+    # Final health read: the end-of-run burns land on the slo.* gauges
+    # before the per-result metrics snapshots (and the final series row).
+    if slo is not None:
+        slo.evaluate(clock.now)
+    if sampler is not None:
+        sampler.finalize(clock.now)
+    series_rows = sampler.rows() if sampler is not None else None
 
     scope = THROUGHPUT_SHARED if multi else THROUGHPUT_RUN
     duration = clock.now - start
@@ -234,6 +290,7 @@ def dispatch(
                 shed_stats=session.shedder.stats.as_dict()
                 if session.shedder is not None
                 else None,
+                series=series_rows,
             )
         )
     return results

@@ -102,10 +102,13 @@ class QuerySession:
     def priority(self) -> float:
         return self.spec.priority if self.spec is not None else 1.0
 
-    def begin_run(self, smoothing_window: int = 1) -> None:
+    def begin_run(self, smoothing_window: int = 1, qs=None) -> None:
         """Reset the per-replay collectors (the dispatch loop calls this)."""
         self.matches = []
-        self.latency = LatencyCollector(smoothing_window=smoothing_window)
+        if qs is None:
+            self.latency = LatencyCollector(smoothing_window=smoothing_window)
+        else:
+            self.latency = LatencyCollector(smoothing_window=smoothing_window, qs=qs)
 
     def __repr__(self) -> str:
         return f"QuerySession({self.name!r}, {self.strategy.name}, priority={self.priority})"

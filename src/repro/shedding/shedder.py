@@ -83,7 +83,8 @@ class LoadShedder:
     # -- dispatch hooks -------------------------------------------------------
     def before_event(self, event, engine) -> bool:
         """Whether this session should drop ``event`` (skip NFA evaluation)."""
-        overload = self.detector.assess(self._clock.now - event.t, engine.active_runs)
+        now = self._clock.now
+        overload = self.detector.assess(now - event.t, engine.active_runs, now)
         if overload is None:
             return False
         self.stats.inc("overloads")
@@ -96,7 +97,8 @@ class LoadShedder:
 
     def after_event(self, event, engine, strategy) -> int:
         """Evict partial matches if the policy says so; returns the count."""
-        overload = self.detector.assess(self._clock.now - event.t, engine.active_runs)
+        now = self._clock.now
+        overload = self.detector.assess(now - event.t, engine.active_runs, now)
         if overload is None:
             return 0
         self.stats.inc("overloads")
@@ -120,6 +122,10 @@ class LoadShedder:
                 "active": overload.active,
                 "run_budget": self.detector.run_budget,
             }
+            if self.detector.slo is not None:
+                # Only SLO-consuming detectors stamp the burn: existing
+                # traces (and their goldens) keep their exact field set.
+                record["slo_burn"] = overload.slo_burn
             if self._label:
                 record["query"] = self._label
             record.update(fields)

@@ -87,6 +87,10 @@ class FetchStrategy(ObligationResolution, FetchPlane):
         # when a fresh fetch terminally fails (only kept while enabled).
         self._last_known: dict[DataKey, Any] = {}
         self.last_postpone_ell = 0.0
+        # Per-match latency-attribution tracker; attached by the composition
+        # root only when tracing is enabled (None keeps the hot path to one
+        # ``is None`` check per instrumentation site).
+        self.spans = None
 
     # -- wiring ----------------------------------------------------------------
     def attach(self, ctx: RuntimeContext) -> None:

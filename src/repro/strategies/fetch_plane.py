@@ -34,8 +34,9 @@ class FetchPlane:
     """Remote-access helpers shared by every fetch strategy.
 
     Mixed into :class:`~repro.strategies.base.FetchStrategy`, which owns the
-    instance state these methods use (``ctx``, ``stats``, ``_purpose``,
-    ``_staged``, ``_round_failed``, ``_in_blocking_round``, ``_last_known``).
+    instance state these methods use (``ctx``, ``stats``, ``spans``,
+    ``_purpose``, ``_staged``, ``_round_failed``, ``_in_blocking_round``,
+    ``_last_known``).
     """
 
     def _available(self, key: DataKey) -> bool:
@@ -115,6 +116,9 @@ class FetchPlane:
                 latest = ticket.arrives_at
         self.stats.blocking_stalls += 1
         self.stats.total_stall_time += latest - now
+        spans = self.spans
+        if spans is not None:
+            spans.add_stall(now, latest, tickets)
         tracer = ctx.tracer
         if tracer.enabled:
             tracer.emit(

@@ -43,11 +43,24 @@ class TestLatencyCollector:
         collector = LatencyCollector()
         collector.record_all(float(i) for i in range(1, 101))
         summary = collector.percentiles()
-        assert set(summary) == {5, 25, 50, 75, 95}
-        assert summary[5] < summary[25] < summary[50] < summary[75] < summary[95]
+        assert set(summary) == {5, 25, 50, 75, 95, 99}
+        assert (
+            summary[5] < summary[25] < summary[50] < summary[75] < summary[95] < summary[99]
+        )
 
     def test_empty_reports_zeroes(self):
-        assert LatencyCollector().percentiles() == {5: 0.0, 25: 0.0, 50: 0.0, 75: 0.0, 95: 0.0}
+        assert LatencyCollector().percentiles() == {
+            5: 0.0, 25: 0.0, 50: 0.0, 75: 0.0, 95: 0.0, 99: 0.0,
+        }
+
+    def test_configurable_quantile_set(self):
+        collector = LatencyCollector(qs=(50, 90))
+        collector.record_all(float(i) for i in range(1, 101))
+        assert set(collector.percentiles()) == {50, 90}
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyCollector(qs=(50, 101))
 
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,169 @@
+"""Tests for per-match latency-attribution spans.
+
+The acceptance bar for the span plane:
+
+* every traced match carries a span whose components sum to the recorded
+  end-to-end latency, replay-verified on q1 and q2, healthy and faulted,
+  with and without shedding and batching;
+* spans ride on the trace bus, so enabling them is inert — match set,
+  summary, and RNG-dependent outcomes are identical to an untraced run;
+* a tampered span record is caught by the replay verifier.
+"""
+
+import pytest
+
+from repro.bench.harness import run_strategy
+from repro.core.config import EiresConfig
+from repro.obs.provenance import replay_trace, verify_span_record
+from repro.obs.spans import SPAN_COMPONENTS, SPAN_RECORD_NAME, SpanTracker, aggregate_spans
+from repro.obs.trace import CAT_SPAN, MemorySink, Tracer
+from repro.workloads.synthetic import SyntheticConfig, q1_workload, q2_workload
+
+
+def q1():
+    return q1_workload(SyntheticConfig(n_events=1500, id_domain=20, window_events=400))
+
+
+def q2():
+    return q2_workload(
+        SyntheticConfig(n_events=1200, id_domain=40, window_events=400, seed=7)
+    )
+
+
+def traced_run(workload, strategy="Hybrid", config=None):
+    sink = MemorySink()
+    result = run_strategy(
+        workload,
+        strategy,
+        config if config is not None else EiresConfig(),
+        tracer=Tracer(sink, track=strategy),
+    )
+    return result, sink
+
+
+def span_records(sink):
+    return [
+        record
+        for record in sink.records
+        if record["cat"] == CAT_SPAN and record["name"] == SPAN_RECORD_NAME
+    ]
+
+
+class TestSpanDecomposition:
+    @pytest.mark.parametrize("make_workload", [q1, q2], ids=["q1", "q2"])
+    @pytest.mark.parametrize("fault_profile", ["none", "drop:0.05"])
+    def test_every_match_has_a_verified_span(self, make_workload, fault_profile):
+        config = EiresConfig(fault_profile=fault_profile)
+        result, sink = traced_run(make_workload(), config=config)
+        spans = span_records(sink)
+        assert result.match_count > 0
+        assert len(spans) == result.match_count
+        replay = replay_trace(sink.records)
+        assert replay["checked_spans"] == result.match_count
+        assert replay["problems"] == []
+
+    @pytest.mark.parametrize("strategy", ["BL1", "BL3", "PFetch", "LzEval"])
+    def test_span_accounting_holds_across_strategies(self, strategy):
+        result, sink = traced_run(q1(), strategy=strategy)
+        replay = replay_trace(sink.records)
+        assert replay["checked_spans"] == result.match_count > 0
+        assert replay["problems"] == []
+
+    def test_span_accounting_under_shedding(self):
+        config = EiresConfig(shed_policy="events", latency_bound=200.0)
+        result, sink = traced_run(q1(), config=config)
+        replay = replay_trace(sink.records)
+        assert replay["checked_spans"] == result.match_count > 0
+        assert replay["problems"] == []
+
+    def test_span_accounting_under_batching(self):
+        config = EiresConfig(batch_window=60.0, batch_max_keys=8)
+        result, sink = traced_run(q1(), strategy="PFetch", config=config)
+        replay = replay_trace(sink.records)
+        assert replay["checked_spans"] == result.match_count > 0
+        assert replay["problems"] == []
+
+    def test_blocking_strategy_attributes_wire_time(self):
+        _, sink = traced_run(q1(), strategy="BL1")
+        spans = span_records(sink)
+        assert sum(record["wire"] for record in spans) > 0.0
+
+
+class TestSpansAreInert:
+    @pytest.mark.parametrize("fault_profile", ["none", "drop:0.05"])
+    def test_traced_run_reproduces_untraced_results(self, fault_profile):
+        config = EiresConfig(fault_profile=fault_profile)
+        plain = run_strategy(q1(), "Hybrid", config)
+        traced, sink = traced_run(q1(), config=config)
+        assert span_records(sink), "tracing must produce spans"
+        assert traced.match_signatures() == plain.match_signatures()
+        assert traced.summary() == plain.summary()
+
+    def test_untraced_strategy_has_no_span_tracker(self):
+        result = run_strategy(q1(), "Hybrid", EiresConfig())
+        assert result.match_count > 0
+        assert all(match.span is None for match in result.matches)
+
+
+class TestSpanVerifier:
+    def _valid_record(self):
+        record = {name: 0.0 for name in SPAN_COMPONENTS}
+        record.update(
+            {"seq": 1, "cat": CAT_SPAN, "name": SPAN_RECORD_NAME,
+             "wire": 30.0, "eval": 12.0, "latency": 42.0, "dur": 42.0}
+        )
+        return record
+
+    def test_consistent_record_passes(self):
+        assert verify_span_record(self._valid_record()) == []
+
+    def test_component_sum_mismatch_caught(self):
+        record = self._valid_record()
+        record["wire"] = 35.0  # components now sum to 47, latency says 42
+        problems = verify_span_record(record)
+        assert problems and "sum" in problems[0]
+
+    def test_negative_component_caught(self):
+        record = self._valid_record()
+        record["queueing"] = -5.0
+        record["eval"] = 17.0  # keep the sum consistent: only the sign is bad
+        problems = verify_span_record(record)
+        assert problems and "negative" in problems[0]
+
+    def test_missing_field_caught(self):
+        record = self._valid_record()
+        del record["batch_wait"]
+        problems = verify_span_record(record)
+        assert problems and "missing" in problems[0]
+
+    def test_dur_latency_disagreement_caught(self):
+        record = self._valid_record()
+        record["dur"] = 40.0
+        problems = verify_span_record(record)
+        assert any("disagrees" in problem for problem in problems)
+
+
+class TestSpanTracker:
+    def test_capture_decomposes_pickup_stalls_and_eval(self):
+        tracker = SpanTracker()
+        tracker.begin_event(100.0)
+
+        class Ticket:
+            issued_at = 100.0
+            wire_started_at = 100.0
+            arrives_at = 130.0
+            key = ("site", 1)
+
+        tracker.add_stall(100.0, 130.0, [Ticket()])
+        span = tracker.capture(90.0, 150.0)
+        assert span["queueing"] == pytest.approx(10.0)
+        assert span["wire"] == pytest.approx(30.0)
+        assert span["eval"] == pytest.approx(20.0)
+        assert sum(span[name] for name in SPAN_COMPONENTS) == pytest.approx(60.0)
+
+    def test_aggregate_spans_shares_sum_to_one(self):
+        _, sink = traced_run(q1())
+        summary = aggregate_spans(sink.records)
+        assert summary["matches"] > 0
+        shares = sum(data["share"] for data in summary["components"].values())
+        assert shares == pytest.approx(1.0)

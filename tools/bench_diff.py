@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh ``BENCH_*.json`` runs against baselines.
+
+Every number a benchmark reports is virtual-time and therefore
+deterministic: the same code on the same configuration reproduces the
+committed baseline exactly.  A fresh run that drifts past the tolerances
+is a behavioural change — more/fewer matches, different latency
+percentiles, a different fetch count — and fails the gate so it must be
+reviewed (and, when intended, committed as the new baseline).
+
+Usage::
+
+    python tools/bench_diff.py results/baselines /tmp/fresh-results
+    python tools/bench_diff.py results/baselines/BENCH_batching.json \\
+        /tmp/fresh-results/BENCH_batching.json --rel-tol 0.01
+
+Both arguments may be directories (every ``*.json`` present in the
+baseline directory is compared against its same-named fresh counterpart)
+or a pair of files.  Benchmarks emit rows in a fixed, deterministic order,
+so rows are matched positionally and labelled by their string-valued
+identity fields (``strategy``, ``workload``, ``policy``, …); an identity
+mismatch at any position fails.  Numeric fields are compared with
+``|fresh - base| <= abs_tol + rel_tol * |base|``; non-numeric fields
+(e.g. a ``None`` bound) must match exactly.  Missing files, missing rows,
+and missing fields all fail.  Exit status: 0 when everything is within
+tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Iterable
+
+__all__ = ["compare_rows", "diff_files", "main"]
+
+#: Tolerance defaults: virtual-time determinism means baselines reproduce
+#: exactly, so the slack only absorbs float-rounding drift across
+#: refactors, not real regressions.
+DEFAULT_REL_TOL = 0.001
+DEFAULT_ABS_TOL = 1e-6
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _label(index: int, row: dict[str, Any]) -> str:
+    identity = "/".join(
+        f"{name}={value}" for name, value in sorted(row.items()) if isinstance(value, str)
+    )
+    return f"row {index} ({identity})" if identity else f"row {index}"
+
+
+def compare_rows(
+    baseline: list[dict[str, Any]],
+    fresh: list[dict[str, Any]],
+    rel_tol: float,
+    abs_tol: float,
+) -> list[str]:
+    """Problems between two row lists (empty list = within tolerance)."""
+    problems: list[str] = []
+    if len(fresh) != len(baseline):
+        problems.append(f"{len(fresh)} fresh rows vs {len(baseline)} baseline rows")
+    for index, base_row in enumerate(baseline):
+        if index >= len(fresh):
+            problems.append(f"{_label(index, base_row)} missing from fresh results")
+            continue
+        fresh_row = fresh[index]
+        label = _label(index, base_row)
+        for field, base_value in base_row.items():
+            if field not in fresh_row:
+                problems.append(f"{label}: field {field!r} missing from fresh row")
+                continue
+            fresh_value = fresh_row[field]
+            if not _is_number(base_value):
+                # Identity and config fields (strategy, policy, a None
+                # bound…) must reproduce exactly.
+                if fresh_value != base_value:
+                    problems.append(
+                        f"{label}: {field} = {fresh_value!r} vs baseline {base_value!r}"
+                    )
+                continue
+            if not _is_number(fresh_value):
+                problems.append(
+                    f"{label}: field {field!r} is {fresh_value!r}, expected a number"
+                )
+                continue
+            allowed = abs_tol + rel_tol * abs(base_value)
+            delta = fresh_value - base_value
+            if abs(delta) > allowed:
+                problems.append(
+                    f"{label}: {field} = {fresh_value} vs baseline "
+                    f"{base_value} (delta {delta:+g}, tolerance {allowed:g})"
+                )
+        extra_fields = sorted(set(fresh_row) - set(base_row))
+        if extra_fields:
+            problems.append(f"{label}: fresh-only fields {extra_fields}")
+    return problems
+
+
+def diff_files(baseline_path: str, fresh_path: str, rel_tol: float, abs_tol: float) -> list[str]:
+    """Problems between one baseline file and its fresh counterpart."""
+    if not os.path.exists(fresh_path):
+        return [f"{fresh_path}: fresh results missing"]
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+    problems = compare_rows(
+        baseline.get("rows", []), fresh.get("rows", []), rel_tol, abs_tol
+    )
+    return [f"{os.path.basename(baseline_path)}: {problem}" for problem in problems]
+
+
+def _pairs(baseline: str, fresh: str) -> Iterable[tuple[str, str]]:
+    if os.path.isdir(baseline):
+        names = sorted(
+            name for name in os.listdir(baseline) if name.endswith(".json")
+        )
+        if not names:
+            raise SystemExit(f"{baseline}: no baseline *.json files")
+        return [(os.path.join(baseline, name), os.path.join(fresh, name)) for name in names]
+    return [(baseline, fresh)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_diff.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", help="baseline BENCH json file or directory")
+    parser.add_argument("fresh", help="fresh BENCH json file or directory")
+    parser.add_argument("--rel-tol", type=float, default=DEFAULT_REL_TOL,
+                        help=f"relative tolerance (default: {DEFAULT_REL_TOL})")
+    parser.add_argument("--abs-tol", type=float, default=DEFAULT_ABS_TOL,
+                        help=f"absolute tolerance (default: {DEFAULT_ABS_TOL})")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if args.rel_tol < 0 or args.abs_tol < 0:
+        parser.error("tolerances must be non-negative")
+    problems: list[str] = []
+    compared = 0
+    for baseline_path, fresh_path in _pairs(args.baseline, args.fresh):
+        problems.extend(diff_files(baseline_path, fresh_path, args.rel_tol, args.abs_tol))
+        compared += 1
+    if problems:
+        print(f"bench diff FAILED ({compared} file(s), {len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"bench diff OK: {compared} file(s) within tolerance "
+          f"(rel {args.rel_tol}, abs {args.abs_tol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
