@@ -1,0 +1,172 @@
+"""Guard-evaluation throughput: the reference engine vs the vectorized backend.
+
+The evaluation backends promise *identical semantics* (byte-identical
+matches, counters, and virtual-time costs) with different execution
+strategies for the guard-evaluation core.  This bench drives both through
+a guard-dominated workload — a four-step sequence whose transitions carry
+wide conjunctions of high-pass local filters over partitions hundreds of
+runs wide, the regime batch evaluation is built for — and records:
+
+* the deterministic result rows (matches, virtual-time percentiles, guard
+  and predicate counters), which must be **identical across backends** and
+  are what the bench-regression gate compares; and
+* a wall-clock ``timing`` section (guard evaluations per second and the
+  vectorized speedup), machine-dependent by nature and therefore written
+  *next to* the rows where ``tools/bench_diff.py`` ignores it.
+
+Run under pytest (the tier-2 suite) or standalone::
+
+    python benchmarks/bench_backends.py           # full sweep
+    python benchmarks/bench_backends.py --smoke   # CI-sized
+
+Results land in ``results/BENCH_backends.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.backends import backend_unavailable_reason
+from repro.bench.harness import (
+    ExperimentResult,
+    run_strategy,
+    save_results,
+    wall_time,
+)
+from repro.core.config import EiresConfig
+from repro.query.parser import parse_query
+from repro.remote.transport import UniformLatency
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import SyntheticConfig, make_store, make_stream
+
+STRATEGY = "BL1"
+BACKENDS = ("reference", "vectorized")
+COLUMNS = ("backend", "matches", "p50", "p95", "throughput_eps",
+           "engine.guard_evaluations", "engine.predicate_evaluations")
+
+
+def guard_workload(n_events: int, id_domain: int = 4, window: int = 400,
+                   seed: int = 42) -> Workload:
+    """A guard-dominated Q1 variant: local-only, filter-heavy, wide partitions.
+
+    Every transition carries several high-pass range filters (so neither
+    backend benefits from short-circuiting) plus order correlations at the
+    final step; the small ``id_domain`` keeps each ``SAME[id]`` partition
+    hundreds of runs wide, which is where batch evaluation has something
+    to amortise against.
+    """
+    config = SyntheticConfig(n_events=n_events, id_domain=id_domain,
+                             window_events=window, seed=seed)
+    text = f"""
+    SEQ(A a, B b, C c, D d)
+    WHERE SAME[id]
+    AND a.v1 <= 92000 AND a.v2 <= 92000 AND a.v1 >= 4000 AND a.v2 >= 4000
+    AND b.v1 <= 92000 AND b.v2 >= 8000 AND b.v1 >= 4000
+    AND c.v1 <= 92000 AND c.v2 >= 8000 AND c.v1 >= 4000
+    AND d.v1 <= 92000 AND d.v2 >= 8000
+    AND a.v1 <= d.v1 AND b.v2 <= d.v2 AND c.v1 <= d.v1
+    WITHIN {window} EVENTS
+    """
+    return Workload(
+        name="guard-heavy",
+        query=parse_query(text, name="QG"),
+        store=make_store(config),
+        stream=make_stream(config),
+        latency_model=UniformLatency(config.latency_low_us, config.latency_high_us),
+    )
+
+
+def sweep(n_events: int = 6_000, rounds: int = 2) -> tuple[list[dict], dict]:
+    """Run every available backend over the guard-heavy workload.
+
+    Returns ``(rows, timing)``: deterministic per-backend result rows, and
+    the wall-clock section (guards/second per backend plus the speedup of
+    each backend relative to ``reference``).  Wall time is the best of
+    ``rounds`` replays — the rows are virtual-time deterministic, so every
+    round returns the same rows and only the timing varies.
+    """
+    workload = guard_workload(n_events)
+    config = EiresConfig()
+    rows: list[dict] = []
+    timing: dict[str, dict] = {}
+    for backend in BACKENDS:
+        reason = backend_unavailable_reason(backend)
+        if reason is not None:
+            print(f"skipping backend {backend!r}: {reason}", file=sys.stderr)
+            continue
+        def run(b=backend):
+            return run_strategy(workload, STRATEGY, config, backend=b)
+
+        result, seconds = wall_time(run)
+        for _ in range(rounds - 1):
+            _, again = wall_time(run)
+            seconds = min(seconds, again)
+        row = result.summary()
+        row["backend"] = backend
+        rows.append(row)
+        guards = row["engine.guard_evaluations"]
+        timing[backend] = {
+            "wall_seconds": round(seconds, 3),
+            "guard_evals_per_second": round(guards / seconds) if seconds else None,
+        }
+    reference_seconds = timing.get("reference", {}).get("wall_seconds")
+    if reference_seconds:
+        for backend, section in timing.items():
+            section["speedup_vs_reference"] = round(
+                reference_seconds / section["wall_seconds"], 3
+            )
+    return rows, timing
+
+
+def check_rows(rows: list[dict]) -> None:
+    """The acceptance properties of the sweep (shared by pytest and CLI)."""
+    assert rows and rows[0]["backend"] == "reference"
+    base = rows[0]
+    # The workload must actually be guard-dominated: several predicates
+    # charged per guard, across a large absolute volume of guards.
+    assert base["engine.guard_evaluations"] > 10_000, base
+    assert (base["engine.predicate_evaluations"]
+            > 3 * base["engine.guard_evaluations"]), base
+    assert base["matches"] > 0
+    # The whole point of the backend contract: every backend reproduces the
+    # reference rows byte-for-byte — same matches, same virtual-time
+    # percentiles, same counters.  Only the label may differ.
+    for row in rows[1:]:
+        for key, value in base.items():
+            if key == "backend":
+                continue
+            assert row.get(key) == value, (
+                f"backend {row['backend']!r} diverges from reference on "
+                f"{key}: {row.get(key)!r} != {value!r}"
+            )
+
+
+def test_backends_sweep(benchmark, report):
+    rows, timing = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    experiment = ExperimentResult("BENCH_backends", rows)
+    report.add(experiment, comparison_metric=None, columns=COLUMNS)
+    save_results(experiment, extra={"timing": timing})
+    check_rows(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in args
+    rows, timing = sweep(n_events=1_500 if smoke else 6_000,
+                         rounds=1 if smoke else 2)
+    experiment = ExperimentResult("BENCH_backends", rows)
+    print(experiment.table(COLUMNS))
+    for backend, section in timing.items():
+        line = (f"{backend}: {section['wall_seconds']}s wall, "
+                f"{section['guard_evals_per_second']} guard evals/s")
+        if "speedup_vs_reference" in section:
+            line += f", {section['speedup_vs_reference']}x vs reference"
+        print(line)
+    check_rows(rows)
+    path = save_results(experiment, extra={"timing": timing})
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ Quick start::
 See ``examples/quickstart.py`` for a runnable end-to-end script.
 """
 
+from repro.backends import EvalBackend, list_backends
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.core.framework import EIRES
 from repro.core.multi import MultiQueryEIRES, QuerySpec
@@ -53,6 +54,8 @@ __all__ = [
     "RunResult",
     "GREEDY",
     "NON_GREEDY",
+    "EvalBackend",
+    "list_backends",
     "CACHE_LRU",
     "CACHE_COST",
     "Event",

@@ -1,0 +1,374 @@
+"""The ``vectorized`` backend: NumPy batch evaluation of local guards.
+
+The profile of the reference engine on q1 is dominated by the local guard
+phase — tens of thousands of tiny ``Comparison.evaluate`` calls plus a
+fresh ``dict(run.env)`` copy per guard attempt.  This backend exploits a
+simple fact: for one input event, every extendable run in a partition
+evaluates the *same* local predicates against the *same* input event, with
+only the bound-event attributes varying per run.  That is a columnar
+computation, so the backend gathers each predicate operand into a NumPy
+array across the partition's runs and decides all guards in a handful of
+ufunc calls (the *plan* phase), then replays the engine's per-run protocol
+consuming the precomputed verdicts (the *apply* phase).
+
+Byte-identity with ``reference`` is a hard requirement, not an aspiration:
+
+* The plan phase is *pure* — local predicates cannot touch remote data
+  (the resolver raises), run environments are immutable, and window
+  admission is a pure function — so precomputing verdicts cannot observe
+  or disturb engine state.
+* The apply phase replays the *identical* sequence of individual
+  ``clock.advance`` calls and counter increments as the scalar loop —
+  including charging only the predicates up to the first failure — so
+  virtual time (float accumulation order and all), ``EngineStats``, and
+  strategy observation order reproduce exactly.
+* Any operand the gather cannot prove safe to vectorize (non-primitive or
+  type-mixed attribute columns, ``Membership``/``FunctionPredicate``
+  guards, operand type errors) falls back to evaluating *that predicate*
+  scalar-per-run inside the plan, with identical results.
+
+The remote phase, obligations, shedding, expiry, and selection-policy
+mechanics are inherited from :class:`~repro.engine.engine.Engine`
+unchanged.  The speedup is real nonetheless: failing guards — the vast
+majority under partition-correlated workloads — never pay the per-run
+``dict`` copy, and passing ones pay it once in either phase.
+
+This module is the *only* place in the tree allowed to import NumPy
+(analysis rule A6); it registers conditionally from
+:mod:`repro.backends.__init__` so the rest of the system degrades to a
+named unavailability reason instead of an ``ImportError``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.base import BackendCapabilities, EvalBackend, register_backend
+from repro.engine.engine import GREEDY, NON_GREEDY, Engine, _no_remote
+from repro.engine.interface import CostModel, MatchRecord, StrategyProtocol
+from repro.nfa.run import Obligation, Run
+from repro.query.predicates import Attr, Comparison, Const, Predicate
+
+if TYPE_CHECKING:
+    from repro.events.event import Event
+    from repro.nfa.automaton import Automaton, Transition
+    from repro.sim.clock import VirtualClock
+
+__all__ = ["VectorizedBackend"]
+
+#: Comparison operators with element-wise NumPy semantics matching Python's.
+_OPS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Payload types whose NumPy comparison semantics provably match Python's
+#: (homogeneous columns only; mixed columns fall back to scalar).
+_PRIMITIVES = (bool, int, float, str)
+
+
+@register_backend(
+    "vectorized",
+    capabilities=BackendCapabilities(
+        policies=(GREEDY, NON_GREEDY),
+        shedding=True,
+        obligations=True,
+        exact_replay=True,
+    ),
+    description="reference semantics with NumPy-batched local guard evaluation",
+)
+class VectorizedBackend(Engine, EvalBackend):
+    """:class:`Engine` with a columnar local-guard plan per partition step."""
+
+    #: Partitions smaller than this stay on the scalar path: below it the
+    #: array set-up costs more than the per-run loop it replaces.
+    MIN_BATCH = 8
+
+    def __init__(
+        self,
+        automaton: "Automaton",
+        clock: "VirtualClock",
+        cost_model: CostModel | None = None,
+        policy: str = GREEDY,
+        max_partial_matches: int | None = None,
+        expiry_interval: int = 16,
+    ) -> None:
+        super().__init__(
+            automaton,
+            clock,
+            cost_model=cost_model,
+            policy=policy,
+            max_partial_matches=max_partial_matches,
+            expiry_interval=expiry_interval,
+        )
+        #: Wall-clock-free instrumentation of the batching machinery itself;
+        #: deliberately *not* part of ``EngineStats`` (whose dict must stay
+        #: byte-identical to the reference backend's).
+        self.vector_stats = {
+            "batches": 0,
+            "vector_predicate_evals": 0,
+            "scalar_fallback_evals": 0,
+        }
+        # (run_id, id(transition)) -> (local_ok, n_evaluated, env | None),
+        # valid for the duration of one _step_partition call.
+        self._plan: dict[tuple[int, int], tuple[bool, int, dict | None]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        automaton: "Automaton",
+        clock: "VirtualClock",
+        *,
+        cost_model: CostModel | None = None,
+        policy: str = GREEDY,
+        max_partial_matches: int | None = None,
+    ) -> "VectorizedBackend":
+        return cls(
+            automaton,
+            clock,
+            cost_model=cost_model,
+            policy=policy,
+            max_partial_matches=max_partial_matches,
+        )
+
+    # -- plan phase ----------------------------------------------------------
+    def _step_partition(
+        self,
+        runs: list[Run],
+        transitions: list["Transition"],
+        event: "Event",
+        strategy: StrategyProtocol,
+        new_runs: list[Run],
+        matches: list[MatchRecord],
+    ) -> list[Run]:
+        if len(runs) >= self.MIN_BATCH:
+            self._plan_partition(runs, transitions, event)
+        try:
+            return super()._step_partition(
+                runs, transitions, event, strategy, new_runs, matches
+            )
+        finally:
+            if self._plan:
+                self._plan.clear()
+
+    def _plan_partition(
+        self, runs: list[Run], transitions: list["Transition"], event: "Event"
+    ) -> None:
+        """Precompute local-guard verdicts for every (run, transition) pair.
+
+        Only runs the window still admits participate — the scalar loop
+        drops the others before ever reaching their guards, so planning
+        them would be wasted work (never *wrong* work: verdicts are looked
+        up by run, and a dropped run's entry is simply never read).
+        """
+        window = self.automaton.window
+        candidates = [
+            run
+            for run in runs
+            if window.admits(run.first_t, run.first_seq, event.t, event.seq)
+        ]
+        if len(candidates) < self.MIN_BATCH:
+            return
+        for transition in transitions:
+            if transition.local_predicates:
+                self._plan_transition(candidates, transition, event)
+
+    def _plan_transition(
+        self, candidates: list[Run], transition: "Transition", event: "Event"
+    ) -> None:
+        """Full-width plan: every predicate evaluated as one column operation.
+
+        ``alive`` tracks which runs still pass (the conjunction so far) and
+        ``counts`` how many predicates each run was charged for — a run is
+        charged exactly for the predicates up to and including its first
+        failure, replicating the scalar short-circuit.  Vectorizable
+        predicates are computed over the *whole* batch (cheaper than masked
+        fancy-indexing; evaluating a pure predicate for an already-failed
+        run is wasted-but-harmless work and is never charged), while
+        fallback predicates evaluate scalar under the alive mask only, so
+        any exception they raise appears on exactly the runs the reference
+        engine would have touched.
+        """
+        n = len(candidates)
+        alive: "np.ndarray | None" = None  # None = all runs still passing
+        counts = np.zeros(n, dtype=np.int64)
+        envs: list[dict | None] = [None] * n
+        for predicate in transition.local_predicates:
+            if alive is None:
+                counts += 1
+            else:
+                if not alive.any():
+                    break
+                counts += alive
+            verdicts = self._eval_vector(
+                candidates, alive, predicate, transition, event
+            )
+            if verdicts is None:
+                verdicts = self._eval_scalar(
+                    candidates, alive, predicate, transition, event, envs
+                )
+            alive = verdicts if alive is None else alive & verdicts
+        self.vector_stats["batches"] += 1
+        transition_key = id(transition)
+        ok_list = [True] * n if alive is None else alive.tolist()
+        count_list = counts.tolist()
+        plan = self._plan
+        for i, run in enumerate(candidates):
+            plan[(run.run_id, transition_key)] = (ok_list[i], count_list[i], envs[i])
+
+    def _eval_vector(
+        self,
+        candidates: list[Run],
+        alive,
+        predicate: Predicate,
+        transition: "Transition",
+        event: "Event",
+    ):
+        """Full-width verdicts for ``predicate``, or None when unprovable."""
+        if type(predicate) is not Comparison:
+            return None
+        fn = _OPS.get(predicate.op)
+        if fn is None:
+            return None
+        left = self._gather(predicate.left, candidates, transition.binding, event)
+        if left is None:
+            return None
+        right = self._gather(predicate.right, candidates, transition.binding, event)
+        if right is None:
+            return None
+        try:
+            result = fn(left, right)
+        except TypeError:
+            # e.g. ordering a numeric column against a string constant:
+            # Python raises per-run, so let the scalar path do exactly that.
+            return None
+        n = len(candidates)
+        if isinstance(result, np.ndarray):
+            if result.shape != (n,):
+                return None
+            verdicts = result.astype(bool, copy=False)
+        else:
+            # Both operands were scalars (constant vs current-event
+            # attribute): one verdict covers the whole batch.
+            verdicts = np.full(n, bool(result), dtype=bool)
+        self.vector_stats["vector_predicate_evals"] += (
+            n if alive is None else int(alive.sum())
+        )
+        return verdicts
+
+    def _gather(self, expr, candidates: list[Run], binding: str, event: "Event"):
+        """An operand as a batch-aligned column, a scalar, or None (give up)."""
+        if type(expr) is Const:
+            value = expr.value
+            return value if isinstance(value, _PRIMITIVES) else None
+        if type(expr) is not Attr:
+            return None
+        attr = expr.attr
+        if expr.binding == binding:
+            # The current input event: one scalar shared by every run.
+            try:
+                value = event[attr]
+            except Exception:
+                return None
+            return value if isinstance(value, _PRIMITIVES) else None
+        name = expr.binding
+        try:
+            values = [run.env[name].attrs[attr] for run in candidates]
+        except Exception:
+            # Unbound binding / missing attribute: the scalar path raises a
+            # per-run diagnostic; reproduce it there.
+            return None
+        try:
+            column = np.asarray(values)
+        except Exception:
+            return None
+        if column.shape != (len(candidates),):
+            return None
+        kind = column.dtype.kind
+        if kind in "bif":
+            # A numeric dtype proves every element was a Python
+            # bool/int/float (anything else would have produced a U or
+            # object column), and mixed-numeric comparisons are value-based
+            # in NumPy exactly as in Python.
+            return column
+        if kind == "U" and all(type(value) is str for value in values):
+            return column
+        # Anything else (object columns, or a U column hiding coerced
+        # non-strings like ``[1, "a"]``) could silently change comparison
+        # semantics — let the scalar path handle it.
+        return None
+
+    def _eval_scalar(
+        self,
+        candidates: list[Run],
+        alive,
+        predicate: Predicate,
+        transition: "Transition",
+        event: "Event",
+        envs: list,
+    ):
+        """Per-run fallback inside the plan: identical results, no batching.
+
+        Evaluates only the still-alive runs (exactly the runs the scalar
+        engine would reach).  The environment dicts it builds are memoised
+        in ``envs`` so the apply phase (and later fallback predicates of
+        the same guard) reuse them — matching the scalar engine, which
+        builds one env per guard attempt.
+        """
+        binding = transition.binding
+        n = len(candidates)
+        out = np.zeros(n, dtype=bool)
+        index_iter = range(n) if alive is None else np.flatnonzero(alive)
+        evaluated = 0
+        for raw in index_iter:
+            i = int(raw)
+            env = envs[i]
+            if env is None:
+                env = dict(candidates[i].env)
+                env[binding] = event
+                envs[i] = env
+            out[i] = predicate.evaluate(env, _no_remote)
+            evaluated += 1
+        self.vector_stats["scalar_fallback_evals"] += evaluated
+        return out
+
+    # -- apply phase ---------------------------------------------------------
+    def _try_transition(
+        self,
+        run: Run,
+        transition: "Transition",
+        event: "Event",
+        strategy: StrategyProtocol,
+    ) -> tuple[Run, Obligation | None] | None:
+        plan = self._plan.get((run.run_id, id(transition)))
+        if plan is None:
+            return super()._try_transition(run, transition, event, strategy)
+        local_ok, n_evaluated, env = plan
+        # Replay the scalar loop's exact charge sequence: one guard charge,
+        # then each predicate actually evaluated (up to the first failure),
+        # as individual advances — float accumulation order is part of the
+        # byte-identity contract.
+        clock = self.clock
+        stats = self.stats
+        clock.advance(self.cost_model.per_guard_cost)
+        stats.guard_evaluations += 1
+        predicates = transition.local_predicates
+        for i in range(n_evaluated):
+            clock.advance(predicates[i].eval_cost)
+        stats.predicate_evaluations += n_evaluated
+        strategy.observe_guard(transition, local_ok)
+        if not local_ok:
+            return None
+        if env is None:
+            env = dict(run.env)
+            env[transition.binding] = event
+        return self._resolve_remote(run, transition, event, env, strategy)

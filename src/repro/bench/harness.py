@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Iterable, Sequence
+import time
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.config import EiresConfig
 from repro.core.framework import EIRES
@@ -27,6 +28,7 @@ __all__ = [
     "ExperimentResult",
     "save_results",
     "results_dir",
+    "wall_time",
 ]
 
 ALL_STRATEGIES = ("BL1", "BL2", "BL3", "PFetch", "LzEval", "Hybrid")
@@ -47,11 +49,14 @@ def run_strategy(
     strategy: str,
     config: EiresConfig,
     tracer: Tracer | None = None,
+    backend: str = "reference",
 ) -> RunResult:
     """One full replay of a workload under one strategy.
 
     Pass a :class:`~repro.obs.trace.Tracer` to capture the run's lifecycle
     trace; tracing never changes the result (same RNG streams, same matches).
+    ``backend`` names a registered evaluation backend (see
+    :func:`repro.backends.list_backends`).
     """
     eires = EIRES(
         workload.query,
@@ -59,9 +64,23 @@ def run_strategy(
         workload.latency_model,
         strategy=strategy,
         config=config,
+        backend=backend,
         tracer=tracer,
     )
     return eires.run(workload.stream)
+
+
+def wall_time(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Call ``fn`` and return ``(result, wall-clock seconds)``.
+
+    The only sanctioned wall-clock read in the tree (rule D1): every
+    *reported result* is virtual-time deterministic, and this helper exists
+    solely so benchmarks can report real-machine speedups *next to* those
+    results (in sections the bench-regression gate ignores).
+    """
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
 
 
 def run_multi_query(
@@ -151,9 +170,17 @@ def run_strategy_suite(
     return ExperimentResult(name, rows, metrics=metrics)
 
 
-def save_results(experiment: ExperimentResult) -> str:
-    """Persist an experiment's rows as JSON; returns the file path."""
+def save_results(experiment: ExperimentResult, extra: dict[str, Any] | None = None) -> str:
+    """Persist an experiment's rows as JSON; returns the file path.
+
+    ``extra`` adds top-level sections *next to* ``rows``.  The bench gate
+    (``tools/bench_diff.py``) compares only ``rows``, so machine-dependent
+    data (wall-clock timings, say) belongs in an extra section.
+    """
     path = os.path.join(results_dir(), f"{experiment.name.replace(' ', '_')}.json")
+    payload: dict[str, Any] = {"name": experiment.name, "rows": experiment.rows}
+    if extra:
+        payload.update(extra)
     with open(path, "w") as handle:
-        json.dump({"name": experiment.name, "rows": experiment.rows}, handle, indent=2, default=str)
+        json.dump(payload, handle, indent=2, default=str)
     return path

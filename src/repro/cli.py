@@ -30,6 +30,7 @@ import json
 import sys
 from typing import Callable
 
+from repro.backends import backend_unavailable_reason, resolve_backend
 from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.core.framework import EIRES
@@ -101,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="how predicates treat terminally unavailable data")
     compare.add_argument("--retry-attempts", type=int, default=3,
                          help="max fetch attempts incl. the first (default: 3)")
+    _add_backend_arg(compare)
     compare.add_argument("--json", action="store_true",
                          help="emit the per-strategy summary rows as JSON")
     _add_batching_args(compare)
@@ -116,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--cache", choices=(CACHE_COST, CACHE_LRU), default=CACHE_COST)
     trace.add_argument("--capacity", type=int, default=None)
     trace.add_argument("--fault-profile", default="none", metavar="PROFILE")
+    _add_backend_arg(trace)
     _add_batching_args(trace)
     _add_shedding_args(trace)
     _add_observability_args(trace)
@@ -140,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--series-interval", type=float, default=0.0, metavar="US",
                         help="metric sampling cadence in virtual us "
                              "(0 disables series sampling; default: 0)")
+    _add_backend_arg(report)
     _add_slo_args(report)
     _add_batching_args(report)
     _add_shedding_args(report)
@@ -148,6 +152,27 @@ def _build_parser() -> argparse.ArgumentParser:
     describe = subparsers.add_parser("describe", help="print a workload's automaton")
     describe.add_argument("--workload", choices=sorted(WORKLOADS), default="q1")
     return parser
+
+
+def _add_backend_arg(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument("--engine-backend", default="reference", metavar="NAME",
+                           help="evaluation backend to run the query on "
+                                "(see repro.backends.list_backends; "
+                                "default: reference)")
+
+
+def _resolve_backend_arg(args: argparse.Namespace) -> str:
+    """Canonical backend name, or a clean exit-2 for unknown/unavailable."""
+    try:
+        name = resolve_backend(args.engine_backend)
+        reason = backend_unavailable_reason(name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if reason is not None:
+        print(f"error: backend {name!r} is unavailable: {reason}", file=sys.stderr)
+        raise SystemExit(2)
+    return name
 
 
 def _add_batching_args(subparser: argparse.ArgumentParser) -> None:
@@ -238,6 +263,7 @@ def _write_trace(records: list[dict], args: argparse.Namespace) -> None:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    backend = _resolve_backend_arg(args)
     workload = WORKLOADS[args.workload](args.events)
     capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
     config = EiresConfig(
@@ -255,8 +281,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     metrics: dict[str, dict] = {}
     for strategy in args.strategies:
         tracer = Tracer(sink, track=strategy) if sink is not None else None
-        result = run_strategy(workload, strategy, config, tracer=tracer)
+        result = run_strategy(workload, strategy, config, tracer=tracer,
+                              backend=backend)
         row = result.summary()
+        row["backend"] = backend
         if result.metrics is not None:
             metrics[strategy] = result.metrics
             # Surface the batch-size distribution next to the dropped-run
@@ -273,6 +301,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.metrics_out is not None:
         write_metrics_snapshot(metrics, args.metrics_out)
     title = f"{args.workload} / {args.policy} / {args.cache} cache (capacity {capacity})"
+    if backend != "reference":
+        title += f" / backend={backend}"
     if args.fault_profile != "none":
         title += f" / faults={args.fault_profile}"
     if args.shed_policy != SHED_NONE:
@@ -292,6 +322,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    backend = _resolve_backend_arg(args)
     workload = WORKLOADS[args.workload](args.events)
     capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
     config = EiresConfig(
@@ -304,7 +335,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     sink = MemorySink()
     result = run_strategy(
-        workload, args.strategy, config, tracer=Tracer(sink, track=args.strategy)
+        workload, args.strategy, config,
+        tracer=Tracer(sink, track=args.strategy), backend=backend,
     )
     replay = replay_trace(sink.records)
     if args.trace_out is not None:
@@ -331,6 +363,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    backend = _resolve_backend_arg(args)
     workload = WORKLOADS[args.workload](args.events)
     capacity = args.capacity if args.capacity is not None else workload.notes["cache_capacity"]
     config = EiresConfig(
@@ -350,6 +383,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         workload.latency_model,
         strategy=args.strategy,
         config=config,
+        backend=backend,
         tracer=Tracer(sink, track=args.strategy),
     )
     result = eires.run(workload.stream)
@@ -358,7 +392,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     slo = eires.runtime.slo
     slo_status = slo.status(eires.clock.now) if slo is not None else None
     series = result.series
-    title = f"{args.workload} / {args.strategy} run health"
+    title = f"{args.workload} / {args.strategy} / {backend} run health"
     if args.fault_profile != "none":
         title += f" / faults={args.fault_profile}"
     report = format_health_report(

@@ -71,7 +71,8 @@ class EIRES:
         self.history = ctx.history
         self.strategy = session.strategy
         self.engine = session.engine
-        self.backend = backend
+        # Canonical registry name (aliases like "automaton" normalised).
+        self.backend = session.spec.backend
 
     def run(self, stream: Stream, smoothing_window: int = 1) -> RunResult:
         """Evaluate the query over ``stream`` and return all measurements."""

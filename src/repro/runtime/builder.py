@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.backends import get_backend
 from repro.cache.base import Cache
 from repro.cache.cost_based import CostBasedCache
 from repro.cache.history import HitHistory
 from repro.cache.lru import LRUCache
-from repro.engine.engine import Engine
 from repro.events.stream import Stream
 from repro.nfa.compiler import compile_query
 from repro.obs.registry import MetricsRegistry
@@ -40,9 +40,9 @@ from repro.remote.retry import RetryPolicy
 from repro.remote.store import RemoteStore
 from repro.remote.transport import LatencyModel, Transport
 from repro.runtime.dispatch import RunResult, dispatch
-from repro.runtime.session import BACKEND_TREE, QuerySession, QuerySpec
+from repro.runtime.session import QuerySession, QuerySpec
 from repro.shedding.detector import OverloadDetector
-from repro.shedding.policy import SHED_NONE, make_shedding_policy
+from repro.shedding.policy import SHED_NONE, SHED_RUNS, make_shedding_policy
 from repro.shedding.shedder import LoadShedder
 from repro.sim.clock import VirtualClock
 from repro.sim.rng import make_rng, spawn
@@ -293,21 +293,29 @@ class RuntimeBuilder:
                 tracer=runtime.tracer,
             )
         )
-        if spec.backend == BACKEND_TREE:
-            # The §9 tree-based execution model; linear SEQ + greedy only.
-            from repro.engine.tree import TreeEngine
-
-            if config.policy != "greedy":
-                raise ValueError("the tree backend implements greedy selection only")
-            engine = TreeEngine(automaton, runtime.clock, cost_model=config.cost_model)
-        else:
-            engine = Engine(
-                automaton,
-                runtime.clock,
-                cost_model=config.cost_model,
-                policy=config.policy,
-                max_partial_matches=config.max_partial_matches,
-            )
+        # The one place an engine is chosen and built (analysis rule A6):
+        # the spec's backend name resolves through the registry, its declared
+        # capabilities are checked against everything this config asks of it
+        # — selection policy, any shedding surface (a shedding policy or the
+        # max_partial_matches run cap), per-run obligation records for the
+        # run-utility score — and only then is the engine constructed.
+        backend_cls = get_backend(spec.backend)
+        backend_cls.require(
+            policy=config.policy,
+            shedding=(
+                config.shed_policy != SHED_NONE
+                or config.max_partial_matches is not None
+            ),
+            obligations=config.shed_policy == SHED_RUNS,
+        )
+        engine = backend_cls.build(
+            automaton,
+            runtime.clock,
+            cost_model=config.cost_model,
+            policy=config.policy,
+            max_partial_matches=config.max_partial_matches,
+        )
+        session_metrics.annotate("engine.backend", spec.backend)
         strategy.bind_engine(engine)
         shedder = self._build_shedder(runtime, spec, automaton, session_metrics)
         return QuerySession(spec, automaton, engine, strategy, utility, rates,
@@ -329,9 +337,8 @@ class RuntimeBuilder:
         config = self.config
         if config.shed_policy == SHED_NONE:
             return None
-        if spec.backend == BACKEND_TREE:
-            # The tree engine exposes neither extendable_runs nor shed_lowest.
-            raise ValueError("load shedding requires the automaton backend")
+        # Backends lacking the shedding surface were already refused by the
+        # capability check in _build_session.
         detector = OverloadDetector(
             latency_bound=config.latency_bound,
             run_budget=config.run_budget,

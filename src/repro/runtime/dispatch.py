@@ -61,6 +61,7 @@ class RunResult:
         throughput_scope: str = THROUGHPUT_RUN,
         shed_stats: dict[str, Any] | None = None,
         series: list[dict[str, Any]] | None = None,
+        backend: str = "reference",
     ) -> None:
         self.strategy_name = strategy_name
         self.matches = matches
@@ -84,6 +85,10 @@ class RunResult:
         # like ``metrics``, not part of summary() — sampling cannot change
         # reported results.
         self.series = series
+        # Canonical name of the evaluation backend that produced the run;
+        # deliberately not part of summary() (whose fields feed the bench
+        # baselines) — reporting surfaces add it explicitly.
+        self.backend = backend
 
     @property
     def match_count(self) -> int:
@@ -291,6 +296,7 @@ def dispatch(
                 if session.shedder is not None
                 else None,
                 series=series_rows,
+                backend=session.spec.backend if session.spec is not None else "reference",
             )
         )
     return results

@@ -10,6 +10,7 @@ Sessions are built exclusively by
 
 from __future__ import annotations
 
+from repro.backends import resolve_backend
 from repro.engine.interface import MatchRecord
 from repro.metrics.latency import LatencyCollector
 from repro.nfa.automaton import Automaton
@@ -20,6 +21,8 @@ from repro.utility.rates import RateEstimator
 
 __all__ = ["QuerySpec", "QuerySession"]
 
+# Legacy spellings kept for callers predating the backend registry; both
+# resolve through repro.backends ("automaton" is an alias of "reference").
 BACKEND_AUTOMATON = "automaton"
 BACKEND_TREE = "tree"
 
@@ -29,8 +32,9 @@ class QuerySpec:
 
     ``strategy`` may be a paper name (``"BL1"`` .. ``"Hybrid"``) or an
     already constructed :class:`~repro.strategies.base.FetchStrategy`
-    instance; ``backend`` picks the execution model (``"automaton"`` or the
-    §9 ``"tree"`` engine).
+    instance; ``backend`` names a registered evaluation backend (see
+    :func:`repro.backends.list_backends`) and is stored in canonical form
+    (``"automaton"`` normalises to ``"reference"``).
     """
 
     __slots__ = ("query", "priority", "strategy_name", "strategy_instance", "backend")
@@ -44,8 +48,6 @@ class QuerySpec:
     ) -> None:
         if priority <= 0:
             raise ValueError(f"query priority must be positive: {priority}")
-        if backend not in (BACKEND_AUTOMATON, BACKEND_TREE):
-            raise ValueError(f"unknown backend {backend!r}; use 'automaton' or 'tree'")
         self.query = query
         self.priority = priority
         if isinstance(strategy, str):
@@ -54,7 +56,7 @@ class QuerySpec:
         else:
             self.strategy_name = strategy.name
             self.strategy_instance = strategy
-        self.backend = backend
+        self.backend = resolve_backend(backend)
 
     def __repr__(self) -> str:
         return f"QuerySpec({self.query.name!r}, priority={self.priority}, {self.strategy_name})"

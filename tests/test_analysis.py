@@ -227,7 +227,9 @@ class TestCli:
     def test_list_rules_names_all(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D1", "D2", "D3", "D4", "M1", "M2", "A1", "A2", "A3", "A4", "A5"):
+        for rule_id in (
+            "D1", "D2", "D3", "D4", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6",
+        ):
             assert rule_id in out
 
 

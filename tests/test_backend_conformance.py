@@ -1,0 +1,228 @@
+"""Cross-backend conformance: every backend honours the reference semantics.
+
+The backend contract has two tiers:
+
+* ``exact_replay`` backends (``vectorized``) must be **byte-identical** to
+  ``reference`` — same match signatures, same virtual-time percentiles,
+  same engine counters, same metrics, same trace stream, same shed
+  decisions — across queries, selection policies, all fetch strategies,
+  faults, batching, and shedding;
+* approximate backends (``tree``) must produce the same *match set* on the
+  configurations their declared capabilities admit.
+
+Scenarios are deliberately small (hundreds of events) so the whole matrix
+stays tier-1 fast; the full-size regime lives in
+``benchmarks/bench_backends.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import backend_unavailable_reason, get_backend
+from repro.bench.harness import ALL_STRATEGIES, run_strategy
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.obs.trace import MemorySink, Tracer
+from repro.workloads.bursty import BurstyConfig, bursty_workload
+from repro.workloads.synthetic import SyntheticConfig, q1_workload, q2_workload
+
+needs_vectorized = pytest.mark.skipif(
+    backend_unavailable_reason("vectorized") is not None,
+    reason=str(backend_unavailable_reason("vectorized")),
+)
+
+Q1_SMALL = SyntheticConfig(n_events=700, id_domain=20, window_events=200)
+Q2_SMALL = SyntheticConfig(n_events=700, id_domain=40, window_events=200)
+
+
+def _observables(result, sink: MemorySink | None = None):
+    """Everything a run makes observable, minus the backend's own label."""
+    metrics = dict(result.metrics or {})
+    metrics.pop("engine.backend", None)
+    data = {
+        "summary": result.summary(),
+        "signatures": [match.signature() for match in result.matches],
+        "engine_stats": result.engine_stats,
+        "metrics": metrics,
+    }
+    if sink is not None:
+        data["trace"] = sink.records
+    return data
+
+
+def _run(workload, strategy, config, backend, traced=False):
+    sink = MemorySink() if traced else None
+    tracer = Tracer(sink) if traced else None
+    result = run_strategy(workload, strategy, config, tracer=tracer, backend=backend)
+    return _observables(result, sink)
+
+
+class TestVectorizedByteIdentity:
+    """``vectorized`` replays ``reference`` exactly, observably everywhere."""
+
+    @needs_vectorized
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_q1_all_strategies_greedy(self, strategy):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig()
+        assert _run(workload, strategy, config, "reference") == _run(
+            workload, strategy, config, "vectorized"
+        )
+
+    @needs_vectorized
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_q1_all_strategies_non_greedy(self, strategy):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig(policy="non_greedy")
+        assert _run(workload, strategy, config, "reference") == _run(
+            workload, strategy, config, "vectorized"
+        )
+
+    @needs_vectorized
+    @pytest.mark.parametrize("policy", ["greedy", "non_greedy"])
+    def test_q2_both_policies(self, policy):
+        workload = q2_workload(Q2_SMALL)
+        config = EiresConfig(policy=policy)
+        assert _run(workload, "Hybrid", config, "reference") == _run(
+            workload, "Hybrid", config, "vectorized"
+        )
+
+    @needs_vectorized
+    def test_faulted_transport(self):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig(fault_profile="drop:0.2")
+        assert _run(workload, "Hybrid", config, "reference") == _run(
+            workload, "Hybrid", config, "vectorized"
+        )
+
+    @needs_vectorized
+    def test_batched_fetches(self):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig(batch_window=50.0, batch_max_keys=8)
+        assert _run(workload, "PFetch", config, "reference") == _run(
+            workload, "PFetch", config, "vectorized"
+        )
+
+    @needs_vectorized
+    @pytest.mark.parametrize("shed_policy", ["events", "runs"])
+    def test_shedding_decisions(self, shed_policy):
+        workload = bursty_workload(BurstyConfig(n_events=800))
+        config = EiresConfig(shed_policy=shed_policy, latency_bound=1_000.0)
+        reference = _run(workload, "Hybrid", config, "reference")
+        assert reference == _run(workload, "Hybrid", config, "vectorized")
+
+    @needs_vectorized
+    def test_run_cap_shedding(self):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig(max_partial_matches=200)
+        assert _run(workload, "Hybrid", config, "reference") == _run(
+            workload, "Hybrid", config, "vectorized"
+        )
+
+    @needs_vectorized
+    def test_traced_run_streams_identical_records(self):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig()
+        reference = _run(workload, "LzEval", config, "reference", traced=True)
+        vectorized = _run(workload, "LzEval", config, "vectorized", traced=True)
+        assert reference["trace"], "the traced scenario produced no records"
+        assert reference == vectorized
+
+
+class TestVectorizedEngagement:
+    """Identity must come from the batch path actually running, not from
+    silently falling back to scalar evaluation."""
+
+    @needs_vectorized
+    def test_batch_path_engages_on_q1(self):
+        workload = q1_workload(Q1_SMALL)
+        eires = EIRES(
+            workload.query,
+            workload.store,
+            workload.latency_model,
+            strategy="Hybrid",
+            backend="vectorized",
+        )
+        eires.run(workload.stream)
+        stats = eires.engine.vector_stats
+        assert stats["batches"] > 0
+        assert stats["vector_predicate_evals"] > 0
+        # Q1's local guards are plain attribute comparisons: all columnable.
+        assert stats["scalar_fallback_evals"] == 0
+
+    @needs_vectorized
+    def test_scalar_fallback_parity(self):
+        """A guard NumPy cannot express falls back per-run, identically."""
+        from repro.query.parser import parse_query
+        from repro.query.predicates import Comparison, FunctionPredicate
+        from repro.remote.transport import UniformLatency
+        from repro.workloads.synthetic import make_store, make_stream
+
+        # Two partition keys only, so the ``SAME[id]`` partitions are wide
+        # enough for the batch planner to engage (and hence to fall back).
+        wide = SyntheticConfig(n_events=700, id_domain=2, window_events=200)
+
+        def build(backend):
+            query = parse_query(
+                """
+                SEQ(A a, B b, C c, D d)
+                WHERE SAME[id] AND a.v1 <= b.v1 AND b.v2 <= c.v2
+                WITHIN 200 EVENTS
+                """,
+                name="QF",
+            )
+            # Replace one early local comparison with an equivalent opaque
+            # function predicate: same verdicts, same eval_cost, but not
+            # vectorizable.
+            conditions = []
+            replaced = 0
+            for condition in query.conditions:
+                if (isinstance(condition, Comparison) and condition.op == "<="
+                        and not replaced):
+                    condition = FunctionPredicate(
+                        lambda lhs, rhs: lhs <= rhs,
+                        (condition.left, condition.right),
+                        name="opaque_le",
+                        eval_cost=condition.eval_cost,
+                    )
+                    replaced += 1
+                conditions.append(condition)
+            assert replaced == 1
+            query.conditions = tuple(conditions)
+            eires = EIRES(
+                query,
+                make_store(wide),
+                UniformLatency(wide.latency_low_us, wide.latency_high_us),
+                strategy="Hybrid",
+                backend=backend,
+            )
+            result = eires.run(make_stream(wide))
+            return eires, _observables(result)
+
+        ref_engine, reference = build("reference")
+        vec_engine, vectorized = build("vectorized")
+        assert reference == vectorized
+        assert vec_engine.engine.vector_stats["scalar_fallback_evals"] > 0
+
+
+class TestTreeBackendConformance:
+    """The tree backend matches the reference match set where its declared
+    capabilities apply (greedy, no shedding)."""
+
+    @pytest.mark.parametrize("strategy", ["BL1", "Hybrid"])
+    def test_q1_match_set(self, strategy):
+        workload = q1_workload(Q1_SMALL)
+        config = EiresConfig()
+        reference = run_strategy(workload, strategy, config, backend="reference")
+        tree = run_strategy(workload, strategy, config, backend="tree")
+        assert sorted(m.signature() for m in tree.matches) == sorted(
+            m.signature() for m in reference.matches
+        )
+
+    def test_capabilities_declare_the_gaps(self):
+        capabilities = get_backend("tree").capabilities
+        assert capabilities.policies == ("greedy",)
+        assert not capabilities.shedding
+        assert not capabilities.obligations
+        assert not capabilities.exact_replay

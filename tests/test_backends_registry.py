@@ -1,0 +1,211 @@
+"""Unit tests for the evaluation-backend registry (``repro.backends``).
+
+Covers the registry mechanics (registration, aliases, duplicates, the
+unavailable-backend channel), the declarative capability checks the
+builder relies on, and the public exports.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.backends import (
+    BackendCapabilities,
+    BackendCapabilityError,
+    BackendUnavailableError,
+    EvalBackend,
+    ReferenceBackend,
+    backend_names,
+    backend_unavailable_reason,
+    get_backend,
+    list_backends,
+    make_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.core.config import EiresConfig
+from repro.core.framework import EIRES
+from repro.workloads.synthetic import SyntheticConfig, q1_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """A throwaway copy of the registry state for mutation tests."""
+    from repro.backends import base
+
+    monkeypatch.setattr(base, "_BACKENDS", dict(base._BACKENDS))
+    monkeypatch.setattr(base, "_ALIASES", dict(base._ALIASES))
+    monkeypatch.setattr(base, "_UNAVAILABLE", dict(base._UNAVAILABLE))
+    return base
+
+
+class TestRegistry:
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(ValueError, match="unknown backend 'nope'"):
+            resolve_backend("nope")
+        with pytest.raises(ValueError, match="reference"):
+            get_backend("nope")
+
+    def test_alias_resolves_to_canonical_name(self):
+        assert resolve_backend("automaton") == "reference"
+        assert get_backend("automaton") is ReferenceBackend
+
+    def test_known_backends_are_registered(self):
+        names = backend_names()
+        for name in ("reference", "tree", "vectorized"):
+            assert name in names
+
+    def test_duplicate_registration_refused(self, scratch_registry):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend(
+                "reference",
+                capabilities=BackendCapabilities(
+                    policies=("greedy",), shedding=False,
+                    obligations=False, exact_replay=False,
+                ),
+            )
+            class Clone(ReferenceBackend):
+                pass
+
+    def test_duplicate_alias_refused(self, scratch_registry):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend(
+                "fresh-name",
+                aliases=("automaton",),
+                capabilities=BackendCapabilities(
+                    policies=("greedy",), shedding=False,
+                    obligations=False, exact_replay=False,
+                ),
+            )
+            class Clone(ReferenceBackend):
+                pass
+
+    def test_non_backend_class_refused(self, scratch_registry):
+        with pytest.raises(TypeError):
+            register_backend(
+                "not-a-backend",
+                capabilities=BackendCapabilities(
+                    policies=("greedy",), shedding=False,
+                    obligations=False, exact_replay=False,
+                ),
+            )(object)
+
+    def test_unavailable_backend_carries_its_reason(self, scratch_registry):
+        scratch_registry.mark_backend_unavailable("ghost", "no such accelerator")
+        assert "ghost" in scratch_registry.backend_names()
+        assert "ghost" not in scratch_registry.backend_names(include_unavailable=False)
+        assert scratch_registry.backend_unavailable_reason("ghost") == "no such accelerator"
+        with pytest.raises(BackendUnavailableError, match="no such accelerator"):
+            scratch_registry.get_backend("ghost")
+
+    def test_unavailable_reason_for_loaded_backend_is_none(self):
+        assert backend_unavailable_reason("reference") is None
+
+    def test_unavailable_reason_for_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            backend_unavailable_reason("nope")
+
+    def test_list_backends_rows(self):
+        rows = {listing.name: listing for listing in list_backends()}
+        assert rows["reference"].available
+        assert "automaton" in rows["reference"].aliases
+        assert rows["reference"].capabilities.exact_replay
+        assert not rows["tree"].capabilities.shedding
+        if rows["vectorized"].available:
+            assert rows["vectorized"].unavailable_reason is None
+        else:
+            assert rows["vectorized"].unavailable_reason
+
+
+class TestCapabilities:
+    def test_refusal_collects_every_mismatch(self):
+        tree = get_backend("tree")
+        with pytest.raises(BackendCapabilityError) as excinfo:
+            tree.require(policy="non_greedy", shedding=True, obligations=True)
+        message = str(excinfo.value)
+        assert "selection policy 'non_greedy'" in message
+        assert "load shedding" in message
+        assert "run obligations" in message
+
+    def test_supported_configuration_passes(self):
+        get_backend("tree").require(policy="greedy")
+        get_backend("reference").require(
+            policy="non_greedy", shedding=True, obligations=True
+        )
+
+    def test_builder_refuses_through_the_registry(self):
+        workload = q1_workload(SyntheticConfig(n_events=10))
+        with pytest.raises(BackendCapabilityError, match="does not support"):
+            EIRES(
+                workload.query,
+                workload.store,
+                workload.latency_model,
+                config=EiresConfig(policy="non_greedy"),
+                backend="tree",
+            )
+
+    def test_make_backend_builds_a_working_engine(self):
+        from repro.nfa.compiler import compile_query
+        from repro.sim.clock import VirtualClock
+
+        workload = q1_workload(SyntheticConfig(n_events=10))
+        engine = make_backend(
+            "reference", compile_query(workload.query), VirtualClock()
+        )
+        assert isinstance(engine, EvalBackend)
+        assert engine.active_runs == 0
+
+
+class TestExports:
+    def test_package_exports(self):
+        assert repro.EvalBackend is EvalBackend
+        assert callable(repro.list_backends)
+        assert "EvalBackend" in repro.__all__
+        assert "list_backends" in repro.__all__
+
+
+class TestNumpyGating:
+    def test_disable_flag_marks_vectorized_unavailable(self):
+        script = (
+            "from repro.backends import backend_unavailable_reason, backend_names\n"
+            "reason = backend_unavailable_reason('vectorized')\n"
+            "assert reason and 'vector' in reason, reason\n"
+            "assert 'vectorized' not in backend_names(include_unavailable=False)\n"
+            "print('gated')\n"
+        )
+        env = dict(os.environ, REPRO_DISABLE_NUMPY="1",
+                   PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "gated" in proc.stdout
+
+    def test_reference_backend_works_without_numpy(self):
+        script = (
+            "from repro.bench.harness import run_strategy\n"
+            "from repro.core.config import EiresConfig\n"
+            "from repro.workloads.synthetic import SyntheticConfig, q1_workload\n"
+            "wl = q1_workload(SyntheticConfig(n_events=200))\n"
+            "result = run_strategy(wl, 'Hybrid', EiresConfig())\n"
+            "print('ok', result.match_count)\n"
+        )
+        env = dict(os.environ, REPRO_DISABLE_NUMPY="1",
+                   PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.startswith("ok")

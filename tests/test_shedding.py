@@ -354,7 +354,7 @@ class TestConfigValidation:
         query, store = make_abc_scenario()
         from repro.remote.transport import FixedLatency
 
-        with pytest.raises(ValueError, match="automaton backend"):
+        with pytest.raises(ValueError, match="does not support load shedding"):
             EIRES(query, store, FixedLatency(50.0), backend="tree",
                   config=EiresConfig(shed_policy="runs", run_budget=10))
 
