@@ -18,8 +18,8 @@ Run it with::
 
 from __future__ import annotations
 
-import random
 
+from repro.sim.rng import make_rng
 from repro import (
     EIRES,
     EiresConfig,
@@ -60,7 +60,7 @@ def build_store() -> RemoteStore:
 
 
 def make_stream(n_events: int = 4_000, seed: int = 11) -> Stream:
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     events = []
     t = 0.0
     for _ in range(n_events):

@@ -17,8 +17,8 @@ Run it with::
 
 from __future__ import annotations
 
-import random
 
+from repro.sim.rng import make_rng
 from repro import EIRES, EiresConfig, Event, FixedLatency, RemoteStore, Stream, parse_query
 
 # 1. A query: an order (O) followed by a payment (P) of the same customer,
@@ -41,7 +41,7 @@ latency_model = FixedLatency(200.0)  # microseconds of transmission latency
 
 def make_stream(n_events: int = 2_000, seed: int = 7) -> Stream:
     """Random orders and payments from 100 customers, one event per 50 us."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     events = []
     t = 0.0
     for _ in range(n_events):

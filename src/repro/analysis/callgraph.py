@@ -1,0 +1,221 @@
+"""The whole-program call graph over a :class:`ModuleIndex`.
+
+Nodes are functions, keyed ``"<rel>::<qualname>"`` (the synthetic
+``"<rel>::<module>"`` node holds top-level statements).  Edges come from
+the per-function call facts the index extracted:
+
+* ``("dotted", name)`` — calls resolved through imports, canonicalised
+  through package re-exports (``repro.EiresConfig`` ->
+  ``repro.core.config.EiresConfig``).  A dotted name matches a function if
+  it equals ``<module dotted>.<qualname>``; a bare class name
+  (``pkg.mod.Cls``) resolves to ``Cls.__init__`` when that method exists.
+* ``("self", "Cls.meth")`` — intraclass method calls, resolved inside the
+  defining module.
+* ``("local", name)`` — same-module function calls.
+* ``("unknown", attr)`` — method calls on arbitrary objects; not resolved
+  (the taint engine treats them as conservative pass-throughs).
+
+The graph also condenses the *module import graph* into strongly-connected
+components (Tarjan) so the incremental cache can compute the dirty region:
+a changed module invalidates its own SCC plus every module that can reach
+it through imports — exactly the set whose whole-program facts could have
+changed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.index import Module, ModuleIndex
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+def node_key(module: Module, qual: str) -> str:
+    return f"{module.rel}::{qual}"
+
+
+class CallGraph:
+    """Resolved function-level edges plus module-level SCC machinery."""
+
+    def __init__(self, index: ModuleIndex) -> None:
+        self.index = index
+        #: node key -> (module, function-fact dict)
+        self.functions: dict[str, tuple[Module, dict]] = {}
+        #: dotted symbol (``repro.obs.trace.Tracer.emit``) -> node key
+        self.symbols: dict[str, str] = {}
+        #: node key -> list of (call index, callee node key | None)
+        self.edges: dict[str, list[tuple[int, str | None]]] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        for module in self.index:
+            dotted = module.dotted_name()
+            for fn in module.functions:
+                key = node_key(module, fn["qual"])
+                self.functions[key] = (module, fn)
+                if dotted is not None and fn["qual"] != "<module>":
+                    self.symbols[f"{dotted}.{fn['qual']}"] = key
+        # Bare class names resolve to their constructor.
+        for symbol in list(self.symbols):
+            if symbol.endswith(".__init__"):
+                cls_symbol = symbol[: -len(".__init__")]
+                self.symbols.setdefault(cls_symbol, self.symbols[symbol])
+        for key, (module, fn) in self.functions.items():
+            self.edges[key] = [
+                (i, self.resolve(module, call["ref"]))
+                for i, call in enumerate(fn["calls"])
+            ]
+
+    def resolve(self, module: Module, ref: list) -> str | None:
+        """The callee node key for one call fact, or None if unresolved."""
+        kind, name = ref[0], ref[1]
+        if kind == "dotted":
+            target = self.symbols.get(name)
+            if target is not None:
+                return target
+            # ``pkg.mod.func`` where only the module is indexed but the
+            # name is an attribute chain on an instance — no match.
+            return None
+        if kind == "self":
+            # Cls.meth in the same module; fall back to any class in the
+            # module defining ``meth`` (mixins resolve to the local def).
+            direct = node_key(module, name)
+            if direct in self.functions:
+                return direct
+            meth = name.split(".", 1)[1]
+            for fn in module.functions:
+                if fn["qual"].endswith(f".{meth}") and fn.get("cls"):
+                    return node_key(module, fn["qual"])
+            return None
+        if kind == "local":
+            direct = node_key(module, name)
+            if direct in self.functions:
+                return direct
+            dotted = module.dotted_name()
+            if dotted is not None:
+                return self.symbols.get(f"{dotted}.{name}")
+            return None
+        return None
+
+    # -- module-level SCCs (incremental invalidation) -------------------------
+
+    def module_sccs(self) -> list[list[str]]:
+        """Tarjan SCCs over the module import graph (rel-path nodes)."""
+        dotted_to_rel = {}
+        for module in self.index:
+            dotted = module.dotted_name()
+            if dotted is not None:
+                dotted_to_rel[dotted] = module.rel
+        graph: dict[str, list[str]] = {}
+        for module in self.index:
+            deps = []
+            for name, _ in module.imports:
+                rel = dotted_to_rel.get(name)
+                if rel is None and "." in name:
+                    # ``from repro.obs.trace import CAT_FETCH`` records the
+                    # module; ``from repro.obs import trace`` records the
+                    # package — try the trailing-component module too.
+                    rel = dotted_to_rel.get(name.rsplit(".", 1)[0])
+                if rel is not None and rel != module.rel:
+                    deps.append(rel)
+            graph[module.rel] = sorted(set(deps))
+
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan: (node, iterator-position) frames.
+            work = [(node, 0)]
+            while work:
+                current, pos = work.pop()
+                if pos == 0:
+                    index_of[current] = lowlink[current] = counter[0]
+                    counter[0] += 1
+                    stack.append(current)
+                    on_stack.add(current)
+                recursed = False
+                deps = graph.get(current, [])
+                for i in range(pos, len(deps)):
+                    dep = deps[i]
+                    if dep not in graph:
+                        continue
+                    if dep not in index_of:
+                        work.append((current, i + 1))
+                        work.append((dep, 0))
+                        recursed = True
+                        break
+                    if dep in on_stack:
+                        lowlink[current] = min(lowlink[current], index_of[dep])
+                if recursed:
+                    continue
+                if lowlink[current] == index_of[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.remove(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    sccs.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+
+        for node in sorted(graph):
+            if node not in index_of:
+                strongconnect(node)
+        return sccs
+
+    def dirty_region(self, dirty_rels: set[str]) -> list[str]:
+        """Modules whose analysis results a change to ``dirty_rels`` can move.
+
+        The region is the dirty modules' SCCs plus every module that
+        (transitively) imports into them: those are the callers whose
+        interprocedural summaries flow through the changed code.
+        """
+        sccs = self.module_sccs()
+        scc_of: dict[str, int] = {}
+        for i, component in enumerate(sccs):
+            for member in component:
+                scc_of[member] = i
+        # Reverse import edges at SCC granularity.
+        dotted_to_rel = {}
+        for module in self.index:
+            dotted = module.dotted_name()
+            if dotted is not None:
+                dotted_to_rel[dotted] = module.rel
+        importers: dict[int, set[int]] = {i: set() for i in range(len(sccs))}
+        for module in self.index:
+            src = scc_of[module.rel]
+            for name, _ in module.imports:
+                rel = dotted_to_rel.get(name) or (
+                    dotted_to_rel.get(name.rsplit(".", 1)[0]) if "." in name else None
+                )
+                if rel is not None and rel in scc_of and scc_of[rel] != src:
+                    importers[scc_of[rel]].add(src)
+        dirty_sccs = {scc_of[rel] for rel in dirty_rels if rel in scc_of}
+        frontier = list(dirty_sccs)
+        while frontier:
+            current = frontier.pop()
+            for importer in importers.get(current, ()):
+                if importer not in dirty_sccs:
+                    dirty_sccs.add(importer)
+                    frontier.append(importer)
+        region = sorted(
+            member for i in dirty_sccs for member in sccs[i]
+        )
+        return region
+
+
+def build_call_graph(index: ModuleIndex) -> CallGraph:
+    """The memoised call graph for an index (one build per index)."""
+    graph = index.scratch.get("callgraph")
+    if graph is None:
+        graph = CallGraph(index)
+        index.scratch["callgraph"] = graph
+    return graph

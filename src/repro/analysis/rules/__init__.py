@@ -6,4 +6,11 @@ the module below.  IDs are stable and documented in
 ``docs/static_analysis.md``.
 """
 
-from repro.analysis.rules import architecture, determinism, metrics  # noqa: F401
+from repro.analysis.rules import (  # noqa: F401
+    architecture,
+    contracts_rules,
+    determinism,
+    metrics,
+    purity,
+    taint_rules,
+)

@@ -1,0 +1,98 @@
+"""R1–R2: the registries, the code, and the docs tell one story.
+
+R1 guards the code↔registry edge: an emitted trace category must be a
+constant *from* ``repro.obs.trace`` (a locally minted ``CAT_BOGUS``
+passes M1's naming check but no validator knows it), and a non-literal
+metric name must resolve to a declared ``*_METRIC`` constant.
+
+R2 guards the code↔docs edge: every registered backend name/alias,
+shedding policy, and trace category must appear (backticked) in its docs
+table — the tables operators and the CLI help point at.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.contracts import contract_analysis
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.index import Module, ModuleIndex
+
+__all__ = ["RegistryDriftRule", "DocsDriftRule"]
+
+
+@register
+class RegistryDriftRule(Rule):
+    id = "R1"
+    scope = "program"
+    title = "emitted categories and metric names resolve to their registries"
+    explain = """\
+Whole-program cross-check of emission sites against the defining
+registries:
+
+* every `tracer.emit(CAT_X, ...)` category must import (possibly through
+  re-export aliases) from repro.obs.trace AND name a constant that module
+  actually defines — a locally defined `CAT_BOGUS = "bogus"` satisfies
+  M1's spelling check while being invisible to the trace validator and
+  every docs table, which is exactly the drift this rule catches;
+* every registry.counter/gauge/histogram name passed as a `*_METRIC`
+  constant must resolve to a defined string constant somewhere in the
+  indexed tree — a renamed constant with a stale call site dies here
+  instead of at runtime.
+
+Fix by importing the real constant (adding it to obs/trace.py if the
+category is genuinely new) or repairing the stale reference."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        engine = contract_analysis(index)
+        for line, name in engine.rogue_emit_categories(module):
+            yield self.finding(
+                module, line,
+                f"emitted trace category `{name}` does not resolve to a "
+                f"constant defined in repro.obs.trace — the validator and "
+                f"docs tables will never see it",
+            )
+        for line, name in engine.rogue_metric_names(module):
+            yield self.finding(
+                module, line,
+                f"metric name constant `{name}` resolves to no *_METRIC "
+                f"string constant in the indexed tree",
+            )
+
+
+@register
+class DocsDriftRule(Rule):
+    id = "R2"
+    scope = "program"
+    title = "registered backends, policies, and categories are documented"
+    explain = """\
+Whole-program cross-check of the extension registries against the docs
+tables operators read:
+
+* every `register_backend("name", aliases=...)` name and alias must appear
+  backticked in docs/backends.md;
+* every shedding policy key in SHED_POLICIES must appear in
+  docs/shedding.md;
+* every CAT_* category value in repro.obs.trace must appear in
+  docs/observability.md.
+
+Findings anchor at the registration / constant-definition line.  When the
+docs tree is absent (fixture runs, scratch trees) the rule is inert.  Fix
+by documenting the new name in its table — or deleting a registration
+that should not exist."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        engine = contract_analysis(index)
+        checks = (
+            (engine.undocumented_backends(), "backend", "docs/backends.md"),
+            (engine.undocumented_policies(), "shedding policy", "docs/shedding.md"),
+            (engine.undocumented_categories(), "trace category", "docs/observability.md"),
+        )
+        for entries, noun, doc in checks:
+            for owner, line, name in entries:
+                if owner.rel != module.rel:
+                    continue
+                yield self.finding(
+                    module, line,
+                    f"registered {noun} `{name}` is not documented in {doc}",
+                )

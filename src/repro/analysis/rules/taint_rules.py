@@ -1,0 +1,102 @@
+"""T1–T3: interprocedural taint must not reach the decision surface.
+
+The local determinism rules (D1–D3) catch a wall-clock read, an ambient
+RNG draw, or an unsorted iteration *at the offending line*.  These rules
+catch the same sources **one or more calls away**: a helper that returns
+``perf_counter()``, a random jitter threaded through two functions into a
+utility score, a ``set(...)`` return value iterated into a metric update.
+Findings anchor at the *source* line — that is the code to fix — and name
+the sink the taint reaches, so `--explain` plus the message reconstructs
+the chain.
+
+Only cross-function flows are reported here; a source and sink in one
+body is already D1/D2/D3's finding, and reporting it twice would just
+force double suppressions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.index import KIND_ORDER, KIND_RNG, KIND_WALLCLOCK, Module, ModuleIndex
+from repro.analysis.taint import taint_analysis
+
+__all__ = ["WallClockTaintRule", "RngTaintRule", "OrderTaintRule"]
+
+
+class _TaintRule(Rule):
+    scope = "program"
+    kind = ""
+    noun = ""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        engine = taint_analysis(index)
+        for flow in engine.flows_by_source_module().get(module.rel, ()):
+            if flow.kind != self.kind:
+                continue
+            yield self.finding(
+                module, flow.source_line,
+                f"{self.noun} flows through {flow.hops}+ call(s) into the "
+                f"{flow.describe_sink()} — inject the deterministic "
+                f"substrate instead of reading ambient state",
+            )
+
+
+@register
+class WallClockTaintRule(_TaintRule):
+    id = "T1"
+    kind = KIND_WALLCLOCK
+    noun = "wall-clock value"
+    title = "no wall-clock taint may reach emit/metric/utility sinks"
+    explain = """\
+A `time.*` / `datetime.now`-family read whose value escapes the reading
+function — through a return value, an argument, or a `self.` attribute —
+and reaches trace emission, a metric update, or the Eq. 5/7/8 utility /
+shedding / batching scoring surface, through ANY call chain.
+
+D1 already bans the read at its own line outside sim/; T1 closes the
+laundering loophole where a helper in an unrestricted module returns the
+stamp and a decision path consumes it two hops later.  Every timestamp
+feeding a decision or a record must come from the injected virtual clock
+(sim/clock.py).  The finding sits on the source line; the message names
+the sink it reaches.  A justified `# eires: allow[D1]` (or `allow[T1]`)
+on the source line sanctions the whole downstream flow."""
+
+
+@register
+class RngTaintRule(_TaintRule):
+    id = "T2"
+    kind = KIND_RNG
+    noun = "ambient-RNG draw"
+    title = "no ambient-RNG taint may reach emit/metric/utility sinks"
+    explain = """\
+A `random.*` / `numpy.random.*` draw from the process-global generator
+whose value flows — through returns, arguments, or attribute stores —
+into trace emission, metric updates, or utility/shedding/batching scoring.
+
+D2 bans the draw at its own line outside sim/rng.py; T2 follows the value
+through the call graph.  Randomness that feeds any decision or recorded
+artifact must come from the seeded streams in sim/rng.py, or replay
+breaks silently.  Suppress at the source line with `# eires: allow[D2]`
+(or `allow[T2]`) plus a justification if a draw is genuinely
+decision-irrelevant."""
+
+
+@register
+class OrderTaintRule(_TaintRule):
+    id = "T3"
+    kind = KIND_ORDER
+    noun = "unsorted-iteration order"
+    title = "no unsorted-iteration-order taint may reach emit/metric/utility sinks"
+    explain = """\
+A value carrying set / dict-view iteration order — `set(...)`, a bare
+`.keys()` / `.values()` / `.items()` view — that crosses a function
+boundary and reaches trace emission, metric updates, or scoring.
+
+D3 bans unsorted iteration inside the decision directories; T3 catches
+the return-value leak: a helper anywhere returning `set(candidates)`
+whose caller iterates it into an emitted record or a metric.  Wrap the
+escaping value in `sorted(...)` at the source (the wrapper strips the
+taint), or justify with `# eires: allow[D3]` / `allow[T3]` when the
+consumer is genuinely order-insensitive."""

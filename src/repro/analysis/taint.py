@@ -1,0 +1,385 @@
+"""Interprocedural taint analysis over the call graph.
+
+The lattice is a powerset over three source kinds:
+
+* ``wallclock`` — ``time.*`` / ``datetime.now``-family reads (D1's targets);
+* ``rng`` — ambient ``random`` / ``numpy.random`` draws (D2's targets);
+* ``order`` — unsorted set / dict-view iteration order (D3's concern).
+
+Propagation follows the per-function atom skeletons the index extracted:
+through return values, through arguments into callee parameters (using
+each callee's ``param -> return`` summary), and through ``self``-attribute
+stores read back by sibling methods.  A Jacobi fixpoint over the call
+graph computes, per function:
+
+* ``ret``      — source kinds its return value can carry (with origin sites);
+* ``p2r``      — which parameter indices flow into the return value;
+* ``p2s``      — which parameter indices reach a sink (transitively);
+* ``sinks``    — source kinds reaching each of its sink call sites.
+
+**Sanitizers.**  ``sim/`` modules (the virtual clock and seeded RNG) and
+D1's allowed files never *generate* atoms — their reads of the host clock
+are the sanctioned implementation of simulated time.  ``sorted(...)`` and
+the order-neutral builtins (``len``/``min``/``max``/``any``/``all``)
+strip ``order``.  An ``# eires: allow[Dx]`` / ``allow[Tx]`` suppression on
+a source line sanctions that source's atoms at the origin, so one
+justified comment silences both the local rule and every downstream flow.
+
+**Scope.**  The T-rules report *cross-function* flows only — a source and
+sink inside one function body is the local rules' (D1–D3) jurisdiction,
+and double-reporting the same line helps nobody.  Findings anchor at the
+**source** line (that is the code to fix) and name the sink they reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, build_call_graph, node_key
+from repro.analysis.index import (
+    ATOM_CALL,
+    ATOM_KIND,
+    ATOM_PARAM,
+    ATOM_SELF_ATTR,
+    ATOM_STRIP_ORDER,
+    KIND_ORDER,
+    KIND_RNG,
+    KIND_WALLCLOCK,
+    Module,
+    ModuleIndex,
+    _atoms_from_json,
+)
+from repro.analysis.suppress import parse_suppressions
+
+__all__ = ["TaintAnalysis", "TaintFlow", "taint_analysis", "KIND_RULES"]
+
+#: Source kind -> the rule ids whose ``allow`` suppression sanctions it.
+KIND_RULES = {
+    KIND_WALLCLOCK: frozenset({"D1", "T1"}),
+    KIND_RNG: frozenset({"D2", "T2"}),
+    KIND_ORDER: frozenset({"D3", "T3"}),
+}
+
+#: Modules that are sanitizers wholesale: their host-clock / host-RNG reads
+#: ARE the deterministic substrate, so they generate no atoms.
+_SANITIZER_PREFIXES = ("sim/",)
+_SANITIZER_FILES = ("bench/harness.py",)
+
+_FIXPOINT_CAP = 50
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One cross-function source-to-sink flow."""
+
+    kind: str               # wallclock | rng | order
+    source_module: Module
+    source_line: int
+    sink_module: Module
+    sink_kind: str          # emit | metric | utility
+    sink_name: str
+    sink_line: int
+    hops: int               # call-graph distance source fn -> sink fn
+
+    def describe_sink(self) -> str:
+        where = self.sink_module.pkg or self.sink_module.rel
+        return f"{self.sink_kind} sink `{self.sink_name}(...)` at {where}:{self.sink_line}"
+
+
+@dataclass
+class _Summary:
+    ret: dict[str, set] = field(default_factory=dict)       # kind -> {(rel, line)}
+    p2r: set = field(default_factory=set)                   # param indices
+    p2s: dict[int, list] = field(default_factory=dict)      # param -> sink descriptors
+    stores: dict[str, dict] = field(default_factory=dict)   # attr -> kind -> origins
+
+
+class TaintAnalysis:
+    """The fixpoint engine; build once per index via :func:`taint_analysis`."""
+
+    def __init__(self, index: ModuleIndex) -> None:
+        self.index = index
+        self.graph: CallGraph = build_call_graph(index)
+        self.summaries: dict[str, _Summary] = {}
+        self._suppressed: dict[str, dict[int, frozenset]] = {}
+        self._flows: list[TaintFlow] | None = None
+        self._prime_suppressions()
+        self._fixpoint()
+
+    # -- sanitizer machinery --------------------------------------------------
+
+    def _prime_suppressions(self) -> None:
+        for module in self.index:
+            suppressions, _ = parse_suppressions(module.lines)
+            if suppressions:
+                self._suppressed[module.rel] = {
+                    line: s.rule_ids for line, s in suppressions.items()
+                }
+
+    def _is_sanitizer(self, module: Module) -> bool:
+        pkg = module.pkg
+        if pkg is None:
+            return False
+        return pkg.startswith(_SANITIZER_PREFIXES) or pkg in _SANITIZER_FILES
+
+    def _source_allowed(self, module: Module, kind: str, line: int) -> bool:
+        rules = self._suppressed.get(module.rel, {}).get(line)
+        return rules is not None and bool(rules & KIND_RULES[kind])
+
+    # -- atom evaluation ------------------------------------------------------
+
+    def _eval(self, module: Module, fn: dict, atoms: frozenset,
+              guard: set) -> tuple[dict[str, set], set]:
+        """Resolve an atom set to (kind -> origin sites, live param indices)."""
+        kinds: dict[str, set] = {}
+        params: set = set()
+        sanitizer = self._is_sanitizer(module)
+        key = node_key(module, fn["qual"])
+        for atom in atoms:
+            sort = atom[0]
+            if sort == ATOM_KIND:
+                kind, line = atom[1], atom[2]
+                if sanitizer or self._source_allowed(module, kind, line):
+                    continue
+                kinds.setdefault(kind, set()).add((module.rel, line))
+            elif sort == ATOM_PARAM:
+                params.add(atom[1])
+            elif sort == ATOM_STRIP_ORDER:
+                inner_kinds, inner_params = self._eval(module, fn, atom[1], guard)
+                inner_kinds.pop(KIND_ORDER, None)
+                for kind, origins in inner_kinds.items():
+                    kinds.setdefault(kind, set()).update(origins)
+                params |= inner_params
+            elif sort == ATOM_SELF_ATTR:
+                attr = atom[1]
+                cls = fn.get("cls")
+                if cls is None:
+                    continue
+                store_kinds = self._class_store(module, cls, attr, guard)
+                for kind, origins in store_kinds.items():
+                    kinds.setdefault(kind, set()).update(origins)
+            elif sort == ATOM_CALL:
+                call = fn["calls"][atom[1]]
+                call_kinds, call_params = self._eval_call(module, fn, call, guard)
+                for kind, origins in call_kinds.items():
+                    kinds.setdefault(kind, set()).update(origins)
+                params |= call_params
+        return kinds, params
+
+    def _arg_index(self, callee: str, ref: list, p_index: int) -> int:
+        """Map a callee parameter index to the call-site argument index.
+
+        Methods carry ``self`` as parameter 0 but call sites
+        (``self.helper(x)``, ``Cls(x)``) do not pass it positionally.
+        """
+        _, callee_fn = self.graph.functions[callee]
+        params = callee_fn["params"]
+        if params and params[0] == "self" and ref[0] in ("self", "dotted"):
+            return p_index - 1
+        return p_index
+
+    def _eval_call(self, module: Module, fn: dict, call: dict,
+                   guard: set) -> tuple[dict[str, set], set]:
+        """The taint carried by one call's return value."""
+        callee = self.graph.resolve(module, call["ref"])
+        arg_sets = [_atoms_from_json(a) for a in call["args"]]
+        if callee is None:
+            # Unresolved call: conservative pass-through of every argument.
+            kinds: dict[str, set] = {}
+            params: set = set()
+            for arg_atoms in arg_sets:
+                arg_kinds, arg_params = self._eval(module, fn, arg_atoms, guard)
+                for kind, origins in arg_kinds.items():
+                    kinds.setdefault(kind, set()).update(origins)
+                params |= arg_params
+            return kinds, params
+        summary = self.summaries.get(callee)
+        if summary is None:
+            return {}, set()
+        kinds = {kind: set(origins) for kind, origins in summary.ret.items()}
+        params: set = set()
+        for p_index in summary.p2r:
+            arg_index = self._arg_index(callee, call["ref"], p_index)
+            if 0 <= arg_index < len(arg_sets):
+                arg_kinds, arg_params = self._eval(module, fn, arg_sets[arg_index], guard)
+                for kind, origins in arg_kinds.items():
+                    kinds.setdefault(kind, set()).update(origins)
+                params |= arg_params
+        return kinds, params
+
+    def _class_store(self, module: Module, cls: str, attr: str,
+                     guard: set) -> dict[str, set]:
+        """The taint any method of ``cls`` stores into ``self.<attr>``."""
+        marker = (module.rel, cls, attr)
+        if marker in guard:
+            return {}
+        guard.add(marker)
+        kinds: dict[str, set] = {}
+        try:
+            for other in module.functions:
+                if other.get("cls") != cls:
+                    continue
+                for store_attr, atoms_json in other.get("stores", ()):
+                    if store_attr != attr:
+                        continue
+                    atoms = _atoms_from_json(atoms_json)
+                    store_kinds, _ = self._eval(module, other, atoms, guard)
+                    for kind, origins in store_kinds.items():
+                        kinds.setdefault(kind, set()).update(origins)
+        finally:
+            guard.discard(marker)
+        return kinds
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        for key in self.graph.functions:
+            self.summaries[key] = _Summary()
+        for _ in range(_FIXPOINT_CAP):
+            changed = False
+            for key, (module, fn) in self.graph.functions.items():
+                summary = self.summaries[key]
+                ret_atoms = _atoms_from_json(fn["ret"])
+                kinds, params = self._eval(module, fn, ret_atoms, set())
+                if self._is_sanitizer(module):
+                    kinds = {}
+                for kind, origins in kinds.items():
+                    have = summary.ret.setdefault(kind, set())
+                    if not origins <= have:
+                        have.update(origins)
+                        changed = True
+                if not params <= summary.p2r:
+                    summary.p2r |= params
+                    changed = True
+                # Transitive param -> sink: a param forwarded into a callee
+                # whose own params reach sinks.
+                for call in fn["calls"]:
+                    callee = self.graph.resolve(module, call["ref"])
+                    if callee is None:
+                        continue
+                    callee_summary = self.summaries.get(callee)
+                    if callee_summary is None:
+                        continue
+                    arg_sets = [_atoms_from_json(a) for a in call["args"]]
+                    for p_index, sink_refs in callee_summary.p2s.items():
+                        arg_index = self._arg_index(callee, call["ref"], p_index)
+                        if not (0 <= arg_index < len(arg_sets)):
+                            continue
+                        _, arg_params = self._eval(module, fn, arg_sets[arg_index], set())
+                        for param in arg_params:
+                            have = summary.p2s.setdefault(param, [])
+                            for sink_ref in sink_refs:
+                                if sink_ref not in have:
+                                    have.append(sink_ref)
+                                    changed = True
+                # Direct param -> sink.
+                for sink in fn["sinks"]:
+                    atoms = _atoms_from_json(sink["atoms"])
+                    _, params_in_sink = self._eval(module, fn, atoms, set())
+                    sink_ref = (module.rel, sink["kind"], sink["name"], sink["line"])
+                    for param in params_in_sink:
+                        have = summary.p2s.setdefault(param, [])
+                        if sink_ref not in have:
+                            have.append(sink_ref)
+                            changed = True
+            if not changed:
+                break
+
+    # -- findings -------------------------------------------------------------
+
+    def flows(self) -> list[TaintFlow]:
+        if self._flows is not None:
+            return self._flows
+        by_rel = {module.rel: module for module in self.index}
+        flows: dict[tuple, TaintFlow] = {}
+
+        def add(kind: str, origins: set, sink_module: Module, sink_kind: str,
+                sink_name: str, sink_line: int, hops: int) -> None:
+            for rel, line in origins:
+                source_module = by_rel.get(rel)
+                if source_module is None:
+                    continue
+                cross = rel != sink_module.rel or hops > 0
+                if not cross:
+                    continue
+                marker = (kind, rel, line, sink_module.rel, sink_kind,
+                          sink_name, sink_line)
+                existing = flows.get(marker)
+                if existing is None or hops < existing.hops:
+                    flows[marker] = TaintFlow(
+                        kind=kind, source_module=source_module, source_line=line,
+                        sink_module=sink_module, sink_kind=sink_kind,
+                        sink_name=sink_name, sink_line=sink_line, hops=hops,
+                    )
+
+        for key, (module, fn) in self.graph.functions.items():
+            if self._is_sanitizer(module):
+                continue
+            for sink in fn["sinks"]:
+                atoms = _atoms_from_json(sink["atoms"])
+                kinds, _ = self._eval(module, fn, atoms, set())
+                for kind, origins in kinds.items():
+                    # Hops: 0 when the origin is this very function's body
+                    # (local rules own it), >=1 when it crossed a call.
+                    for rel, line in origins:
+                        hops = 0 if (rel == module.rel and self._line_in(fn, line)) else 1
+                        add(kind, {(rel, line)}, module, sink["kind"],
+                            sink["name"], sink["line"], hops)
+            # The argument direction: a tainted value passed into a callee
+            # whose parameter (transitively) reaches a sink.
+            for call in fn["calls"]:
+                callee = self.graph.resolve(module, call["ref"])
+                if callee is None:
+                    continue
+                callee_summary = self.summaries.get(callee)
+                if callee_summary is None or not callee_summary.p2s:
+                    continue
+                arg_sets = [_atoms_from_json(a) for a in call["args"]]
+                for p_index, sink_refs in callee_summary.p2s.items():
+                    arg_index = self._arg_index(callee, call["ref"], p_index)
+                    if not (0 <= arg_index < len(arg_sets)):
+                        continue
+                    kinds, _ = self._eval(module, fn, arg_sets[arg_index], set())
+                    for kind, origins in kinds.items():
+                        for sink_rel, sink_kind, sink_name, sink_line in sink_refs:
+                            sink_module = by_rel.get(sink_rel)
+                            if sink_module is None:
+                                continue
+                            add(kind, origins, sink_module, sink_kind,
+                                sink_name, sink_line, 1)
+        result = sorted(
+            flows.values(),
+            key=lambda f: (f.source_module.rel, f.source_line, f.kind,
+                           f.sink_module.rel, f.sink_line),
+        )
+        self._flows = result
+        return result
+
+    def _line_in(self, fn: dict, line: int) -> bool:
+        """Whether a source line sits inside this function's own call facts."""
+        for call in fn["calls"]:
+            if call["line"] == line:
+                return True
+        for atom in _atoms_from_json(fn["ret"]):
+            if atom[0] == ATOM_KIND and atom[2] == line:
+                return True
+        for sink in fn["sinks"]:
+            for atom in _atoms_from_json(sink["atoms"]):
+                if atom[0] == ATOM_KIND and atom[2] == line:
+                    return True
+        return False
+
+    def flows_by_source_module(self) -> dict[str, list[TaintFlow]]:
+        grouped: dict[str, list[TaintFlow]] = {}
+        for flow in self.flows():
+            grouped.setdefault(flow.source_module.rel, []).append(flow)
+        return grouped
+
+
+def taint_analysis(index: ModuleIndex) -> TaintAnalysis:
+    """The memoised taint engine for an index (one fixpoint per index)."""
+    engine = index.scratch.get("taint")
+    if engine is None:
+        engine = TaintAnalysis(index)
+        index.scratch["taint"] = engine
+    return engine

@@ -1,0 +1,13 @@
+# eires-fixture: place=utility/model.py
+"""A promised-pure scoring function that caches into instance state —
+P1 must flag the attribute store."""
+
+
+class UtilityModel:
+    def __init__(self) -> None:
+        self._memo = {}
+
+    def value(self, run, now: float) -> float:
+        score = now * 2.0
+        self._memo[run] = score
+        return score

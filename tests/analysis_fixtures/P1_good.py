@@ -1,0 +1,12 @@
+# eires-fixture: place=utility/model.py
+"""A promised-pure scoring function: builds only fresh locals, returns."""
+
+
+class UtilityModel:
+    def __init__(self, omega: float) -> None:
+        self.omega = omega
+
+    def value(self, run, now: float) -> float:
+        weights = [self.omega, now]
+        weights.append(2.0)
+        return sum(weights)

@@ -1,0 +1,10 @@
+# eires-fixture: place=obs/report.py
+"""A locally minted category constant: spelled like CAT_*, so M1 passes,
+but repro.obs.trace has never heard of it — R1 must flag the drift."""
+
+CAT_BOGUS = "bogus"
+
+
+def snapshot(tracer, payload: dict) -> None:
+    if tracer.enabled:
+        tracer.emit(CAT_BOGUS, payload)

@@ -1,0 +1,8 @@
+# eires-fixture: place=obs/report.py
+"""Categories imported from the defining registry — no drift."""
+from repro.obs.trace import CAT_FETCH
+
+
+def snapshot(tracer, payload: dict) -> None:
+    if tracer.enabled:
+        tracer.emit(CAT_FETCH, payload)

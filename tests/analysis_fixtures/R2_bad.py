@@ -1,0 +1,9 @@
+# eires-fixture: place=backends/rogue.py
+"""A backend registered under a name no docs table mentions — R2 must
+flag the undocumented registration."""
+from repro.backends import register_backend
+
+
+@register_backend("undocumented_backend")
+class RogueBackend:
+    pass

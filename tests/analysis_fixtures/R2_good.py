@@ -1,0 +1,8 @@
+# eires-fixture: place=backends/clean.py
+"""A backend registered under a documented name and alias."""
+from repro.backends import register_backend
+
+
+@register_backend("reference", aliases=("automaton",))
+class CleanBackend:
+    pass

@@ -1,0 +1,18 @@
+# eires-fixture: place=strategies/laundered_clock.py
+"""A two-hop wall-clock leak: the read escapes through two returns into an
+emit sink — D1 sees nothing at the sink, T1 must follow the chain."""
+import time
+
+
+def _raw_now() -> float:
+    return time.time()
+
+
+def _stamp(offset: float) -> float:
+    return _raw_now() + offset
+
+
+def report(tracer, offset: float) -> None:
+    stamped = _stamp(offset)
+    if tracer.enabled:
+        tracer.emit("span", {"at": stamped})

@@ -1,0 +1,12 @@
+# eires-fixture: place=strategies/injected_clock.py
+"""Timestamps come from the injected virtual clock — no wall-clock taint."""
+
+
+def _stamp(clock, offset: float) -> float:
+    return clock.now() + offset
+
+
+def report(tracer, clock, offset: float) -> None:
+    stamped = _stamp(clock, offset)
+    if tracer.enabled:
+        tracer.emit("span", {"at": stamped})

@@ -1,0 +1,15 @@
+# eires-fixture: place=strategies/laundered_rng.py
+"""An ambient-RNG draw laundered through a helper into a metric update."""
+import random
+
+
+def _jitter() -> float:
+    return random.random() * 0.1
+
+
+def _scaled(base: float) -> float:
+    return base + _jitter()
+
+
+def record(registry, base: float) -> None:
+    registry.gauge("strategy.jitter").observe(_scaled(base))

@@ -1,0 +1,14 @@
+# eires-fixture: place=strategies/injected_rng.py
+"""Randomness comes from an injected seeded stream — no ambient taint."""
+
+
+def _jitter(rng) -> float:
+    return rng.random() * 0.1
+
+
+def _scaled(rng, base: float) -> float:
+    return base + _jitter(rng)
+
+
+def record(registry, rng, base: float) -> None:
+    registry.gauge("strategy.jitter").observe(_scaled(rng, base))

@@ -1,0 +1,12 @@
+# eires-fixture: place=cache/order_leak.py
+"""A return-value order leak: a helper returns ``set(...)`` and the caller
+iterates the unordered value into a metric sink — D3 never sees the sink."""
+
+
+def _candidates(index: dict) -> set:
+    return set(index)
+
+
+def flush(registry, index: dict) -> None:
+    for key in _candidates(index):
+        registry.counter("cache.evictions").inc(key)

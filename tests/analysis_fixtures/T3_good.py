@@ -1,0 +1,11 @@
+# eires-fixture: place=cache/order_sorted.py
+"""The escaping value is sorted at the source — the order taint is stripped."""
+
+
+def _candidates(index: dict) -> list:
+    return sorted(set(index))
+
+
+def flush(registry, index: dict) -> None:
+    for key in _candidates(index):
+        registry.counter("cache.evictions").inc(key)

@@ -205,9 +205,13 @@ class TestCli:
         assert main([str(tmp_path), "--json"]) == 1
         report = json.loads(capsys.readouterr().out)
         assert set(report) == {
-            "version", "rules", "modules", "findings", "suppressed", "baselined", "ok",
+            "schema_version", "rules", "modules", "findings", "suppressed",
+            "baselined", "incremental", "ok",
         }
-        assert report["version"] == 1 and report["ok"] is False
+        assert report["schema_version"] == 2 and report["ok"] is False
+        assert set(report["incremental"]) == {"parsed", "cached", "dirty_region"}
+        assert report["incremental"]["parsed"] == 1
+        assert report["incremental"]["cached"] == 0
         assert report["modules"] == 1 and report["baselined"] == 0
         (finding,) = report["findings"]
         assert set(finding) == {"rule", "path", "line", "message", "fingerprint"}
@@ -229,6 +233,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in (
             "D1", "D2", "D3", "D4", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6",
+            "T1", "T2", "T3", "P1", "R1", "R2",
         ):
             assert rule_id in out
 
