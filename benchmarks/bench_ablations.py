@@ -13,8 +13,7 @@ qualitatively; these benches quantify each by disabling it:
 
 from __future__ import annotations
 
-from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
-from repro.engine.engine import GREEDY
+from repro import CACHE_COST, CACHE_LRU, EiresConfig, GREEDY
 from repro.bench.harness import ExperimentResult, run_strategy
 from repro.workloads.synthetic import SyntheticConfig, q1_workload
 

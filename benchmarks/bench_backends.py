@@ -26,16 +26,13 @@ from __future__ import annotations
 
 import sys
 
-from repro.backends import backend_unavailable_reason
+from repro import backend_unavailable_reason, EiresConfig, parse_query, UniformLatency
 from repro.bench.harness import (
     ExperimentResult,
     run_strategy,
     save_results,
     wall_time,
 )
-from repro.core.config import EiresConfig
-from repro.query.parser import parse_query
-from repro.remote.transport import UniformLatency
 from repro.workloads.base import Workload
 from repro.workloads.synthetic import SyntheticConfig, make_store, make_stream
 

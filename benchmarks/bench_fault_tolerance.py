@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.config import EiresConfig
+from repro import EiresConfig
 from repro.bench.harness import ExperimentResult, run_strategy, save_results
 from repro.workloads.synthetic import SyntheticConfig, q1_workload
 

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import CACHE_COST, EiresConfig
-from repro.engine.engine import GREEDY
+from repro import CACHE_COST, EiresConfig, GREEDY
 from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
 from repro.workloads.bushfire import BushfireConfig, bushfire_workload
 from repro.workloads.cluster import ClusterConfig, cluster_workload

@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
-from repro.engine.engine import GREEDY, NON_GREEDY
+from repro import CACHE_COST, CACHE_LRU, EiresConfig, GREEDY, NON_GREEDY
 from repro.bench.harness import ALL_STRATEGIES, ExperimentResult, run_strategy
 from repro.workloads.synthetic import SyntheticConfig, q1_workload
 

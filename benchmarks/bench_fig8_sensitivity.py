@@ -14,8 +14,7 @@ Three sweeps over PFetch / LzEval / Hybrid:
 
 from __future__ import annotations
 
-from repro.core.config import CACHE_COST, EiresConfig
-from repro.engine.engine import GREEDY
+from repro import CACHE_COST, EiresConfig, GREEDY
 from repro.bench.harness import ExperimentResult, run_strategy
 from repro.workloads.synthetic import SyntheticConfig, q1_workload
 

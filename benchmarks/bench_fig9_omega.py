@@ -12,8 +12,7 @@ dramatically) rather than an exact optimum, which is noise-sensitive.
 
 from __future__ import annotations
 
-from repro.core.config import CACHE_COST, EiresConfig
-from repro.engine.engine import GREEDY
+from repro import CACHE_COST, EiresConfig, GREEDY
 from repro.bench.harness import ExperimentResult, run_strategy
 from repro.workloads.synthetic import SyntheticConfig, q1_workload
 

@@ -14,13 +14,16 @@ serves the other) and never hurt the match sets.
 
 from __future__ import annotations
 
-from repro.core.config import EiresConfig
-from repro.core.framework import EIRES
-from repro.core.multi import MultiQueryEIRES, QuerySpec
+from repro import (
+    EIRES,
+    EiresConfig,
+    MultiQueryEIRES,
+    parse_query,
+    QuerySpec,
+    RemoteStore,
+    UniformLatency,
+)
 from repro.bench.harness import ExperimentResult
-from repro.query.parser import parse_query
-from repro.remote.store import RemoteStore
-from repro.remote.transport import UniformLatency
 from repro.workloads.synthetic import SyntheticConfig, make_stream
 
 CAPACITY = 200

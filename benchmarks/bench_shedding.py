@@ -25,7 +25,7 @@ from __future__ import annotations
 import sys
 
 from repro.bench.harness import ExperimentResult, run_strategy, save_results
-from repro.core.config import EiresConfig
+from repro import EiresConfig
 from repro.workloads.bursty import BurstyConfig, bursty_workload
 
 STRATEGY = "Hybrid"

@@ -10,12 +10,15 @@ backend.
 
 from __future__ import annotations
 
-from repro.core.config import CACHE_COST, EiresConfig
-from repro.core.framework import EIRES
+from repro import (
+    CACHE_COST,
+    EIRES,
+    EiresConfig,
+    parse_query,
+    RemoteStore,
+    UniformLatency,
+)
 from repro.bench.harness import ALL_STRATEGIES, ExperimentResult
-from repro.query.parser import parse_query
-from repro.remote.store import RemoteStore
-from repro.remote.transport import UniformLatency
 from repro.workloads.base import PseudoRandomSet
 from repro.workloads.synthetic import SyntheticConfig, make_stream
 

@@ -18,8 +18,6 @@ Run it with::
 
 from __future__ import annotations
 
-
-from repro.sim.rng import make_rng
 from repro import (
     EIRES,
     EiresConfig,
@@ -29,6 +27,7 @@ from repro import (
     RemoteStore,
     Stream,
     UniformLatency,
+    make_rng,
     parse_query,
 )
 

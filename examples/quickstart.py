@@ -17,9 +17,16 @@ Run it with::
 
 from __future__ import annotations
 
-
-from repro.sim.rng import make_rng
-from repro import EIRES, EiresConfig, Event, FixedLatency, RemoteStore, Stream, parse_query
+from repro import (
+    EIRES,
+    EiresConfig,
+    Event,
+    FixedLatency,
+    RemoteStore,
+    Stream,
+    make_rng,
+    parse_query,
+)
 
 # 1. A query: an order (O) followed by a payment (P) of the same customer,
 #    where the payment's amount exceeds the customer's remotely stored limit.

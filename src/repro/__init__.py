@@ -13,16 +13,25 @@ Nguyen, Nguyen, and Weidlich.  The package provides:
   :mod:`repro.strategies`);
 * LRU and cost-based cache management (:mod:`repro.cache`);
 * workload generators and a benchmark harness regenerating every figure of
-  the paper's evaluation (:mod:`repro.workloads`, :mod:`repro.bench`).
+  the paper's evaluation (:mod:`repro.workloads`, :mod:`repro.bench`);
+* a multi-tenant fleet layer partitioning tenants across worker shards
+  over one shared remote-data plane (:mod:`repro.serving`).
 
 Quick start::
 
     from repro import EIRES, EiresConfig, parse_query
 
 See ``examples/quickstart.py`` for a runnable end-to-end script.
+
+This ``__all__`` is the *curated public surface*: together with the
+public subpackages — :mod:`repro.workloads`, :mod:`repro.bench`, and
+:mod:`repro.metrics.reporting` — it is everything in-tree consumers
+(``examples/``, ``benchmarks/``) may import, and analysis rule R3 fails
+the build if they reach deeper.  Adding a name here is an API commitment;
+removing one is a breaking change.
 """
 
-from repro.backends import EvalBackend, list_backends
+from repro.backends import EvalBackend, backend_unavailable_reason, list_backends
 from repro.core.config import CACHE_COST, CACHE_LRU, EiresConfig
 from repro.core.framework import EIRES
 from repro.core.multi import MultiQueryEIRES, QuerySpec
@@ -41,6 +50,8 @@ from repro.remote.transport import (
     PerSourceLatency,
     UniformLatency,
 )
+from repro.serving import FleetBuilder, FleetResult, TenantSpec
+from repro.sim.rng import make_rng
 from repro.strategies import STRATEGIES, make_strategy
 
 __version__ = "1.0.0"
@@ -50,12 +61,16 @@ __all__ = [
     "MultiQueryEIRES",
     "QuerySpec",
     "RuntimeBuilder",
+    "FleetBuilder",
+    "TenantSpec",
+    "FleetResult",
     "EiresConfig",
     "RunResult",
     "GREEDY",
     "NON_GREEDY",
     "EvalBackend",
     "list_backends",
+    "backend_unavailable_reason",
     "CACHE_LRU",
     "CACHE_COST",
     "Event",
@@ -76,5 +91,6 @@ __all__ = [
     "PerSourceLatency",
     "STRATEGIES",
     "make_strategy",
+    "make_rng",
     "__version__",
 ]

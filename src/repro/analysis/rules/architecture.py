@@ -24,6 +24,7 @@ __all__ = [
     "TransportShimRule",
     "SheddingCompositionRule",
     "BackendCompositionRule",
+    "FleetCompositionRule",
 ]
 
 # A1 (R1): packages of the evaluation core, and the prefixes they must not
@@ -47,10 +48,9 @@ DEFINING_MODULES = {
 }
 COMPOSITION_ROOT = "runtime/"
 
-# A4: the deprecated Transport entry points, callable only inside the
-# remote substrate itself (where the shims are defined and exercised).
+# A4: the deleted Transport entry points — the symbols must not exist, as
+# definitions or as call sites, anywhere in the tree.
 TRANSPORT_SHIMS = ("fetch_blocking", "fetch_async")
-REMOTE_PACKAGE = "remote/"
 
 # A5: the shedding plane's constructors, callable only by the composition
 # root and inside the plane itself.
@@ -75,6 +75,11 @@ BACKEND_DEFINING_MODULES = {
 }
 BACKEND_PACKAGE = "backends/"
 NUMPY_ALLOWED_MODULE = "backends/vectorized.py"
+
+# A7: the serving plane's internals, constructed only inside repro.serving
+# itself — everything else composes fleets via FleetBuilder.
+SERVING_CONSTRUCTORS = ("Fleet", "TokenBucket")
+SERVING_PACKAGE = "serving/"
 
 
 @register
@@ -153,25 +158,31 @@ alone is fine — callers build tracers and hand them INTO the builder."""
 @register
 class TransportShimRule(Rule):
     id = "A4"
-    title = "no new callers of the deprecated Transport fetch shims"
+    title = "the removed Transport fetch shims must not exist"
     explain = """\
-Transport.fetch_blocking and Transport.fetch_async are deprecated shims
-over the unified submit(FetchRequest) surface; batching, coalescing, and
-retry semantics all hang off submit().  Only repro.remote (where the shims
-live) may call them — everything else, benchmarks included, must build a
-FetchRequest and go through submit(), so new code cannot bypass the batch
-plane or the utility-ranked assembly."""
+Transport.fetch_blocking and Transport.fetch_async were deprecated shims
+over the unified submit(FetchRequest) surface and have been deleted;
+batching, coalescing, and retry semantics all hang off submit().  The
+symbols must not reappear anywhere — not as method or function definitions
+(which would resurrect a parallel entry point bypassing the batch plane)
+and not as call sites (which would be dead code against the current
+Transport).  Build a FetchRequest and go through submit()."""
 
     def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
-        pkg = module.pkg
-        if pkg is not None and pkg.startswith(REMOTE_PACKAGE):
-            return
         for name, line in module.constructed:
             if name in TRANSPORT_SHIMS:
                 yield self.finding(
                     module, line,
-                    f"deprecated Transport shim {name}() called outside "
-                    "repro.remote; use transport.submit(FetchRequest(...))",
+                    f"removed Transport shim {name}() called; the symbol no "
+                    "longer exists — use transport.submit(FetchRequest(...))",
+                )
+        for fn in module.functions:
+            if fn["qual"].rsplit(".", 1)[-1] in TRANSPORT_SHIMS:
+                yield self.finding(
+                    module, fn["line"],
+                    f"defines {fn['qual']}: the removed Transport shim names "
+                    "must not be reintroduced; expose submit(FetchRequest(...)) "
+                    "instead",
                 )
 
 
@@ -246,4 +257,33 @@ kernel into the vectorized backend or writing it dependency-free."""
                     f"backend composition: constructs {name} outside "
                     "repro.runtime; name a backend in the QuerySpec and let "
                     "RuntimeBuilder build it via the registry",
+                )
+
+
+@register
+class FleetCompositionRule(Rule):
+    id = "A7"
+    title = "fleets composed only via FleetBuilder"
+    explain = """\
+The serving plane's placement, rate limiting, metric scoping, and trace
+records all hang off FleetBuilder.build(): it validates tenant specs, maps
+tenants onto shards, builds one Runtime per shard on a single SharedPlane,
+and wires per-tenant token buckets and quotas into the shedding plane.
+Constructing the plane's internals — Fleet or TokenBucket — anywhere
+outside repro.serving would bypass that validation and produce fleets whose
+admission decisions carry no provenance, so only the serving package itself
+may build them.  Everything else declares TenantSpecs and calls
+FleetBuilder."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        pkg = module.pkg
+        if pkg is not None and pkg.startswith(SERVING_PACKAGE):
+            return
+        for name, line in module.constructed:
+            if name in SERVING_CONSTRUCTORS:
+                yield self.finding(
+                    module, line,
+                    f"serving composition: constructs {name} outside "
+                    "repro.serving; declare TenantSpecs and compose the fleet "
+                    "via FleetBuilder",
                 )

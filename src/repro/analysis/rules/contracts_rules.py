@@ -1,4 +1,4 @@
-"""R1–R2: the registries, the code, and the docs tell one story.
+"""R1–R3: the registries, the code, the docs, and the consumers tell one story.
 
 R1 guards the code↔registry edge: an emitted trace category must be a
 constant *from* ``repro.obs.trace`` (a locally minted ``CAT_BOGUS``
@@ -8,6 +8,12 @@ metric name must resolve to a declared ``*_METRIC`` constant.
 R2 guards the code↔docs edge: every registered backend name/alias,
 shedding policy, and trace category must appear (backticked) in its docs
 table — the tables operators and the CLI help point at.
+
+R3 guards the code↔consumer edge: ``examples/`` and ``benchmarks/`` are
+the in-tree consumers of the *stable public API* — the curated
+``repro/__init__.py`` ``__all__`` plus the declared public subpackages —
+so an example reaching into ``repro.runtime.builder`` would silently
+promote an internal module to load-bearing API.
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ from repro.analysis.contracts import contract_analysis
 from repro.analysis.core import Finding, Rule, register
 from repro.analysis.index import Module, ModuleIndex
 
-__all__ = ["RegistryDriftRule", "DocsDriftRule"]
+__all__ = ["RegistryDriftRule", "DocsDriftRule", "PublicSurfaceRule"]
+
+# R3: directories holding in-tree consumers of the public API, and the
+# subpackage surfaces documented as stable alongside the top-level
+# ``repro`` exports (see README "Public API").
+CONSUMER_DIRS = ("examples", "benchmarks")
+PUBLIC_PACKAGES = ("repro.workloads", "repro.bench", "repro.metrics.reporting")
 
 
 @register
@@ -96,3 +108,37 @@ that should not exist."""
                     module, line,
                     f"registered {noun} `{name}` is not documented in {doc}",
                 )
+
+
+@register
+class PublicSurfaceRule(Rule):
+    id = "R3"
+    title = "examples and benchmarks import only the public repro surface"
+    explain = """\
+examples/ and benchmarks/ are the in-tree consumers of the stable public
+API: they may import the `repro` package itself (whose curated __all__ is
+the documented surface) and the declared public subpackages —
+repro.workloads, repro.bench, and repro.metrics.reporting.  Importing any
+other repro.* module from a consumer silently promotes an internal module
+to load-bearing API: refactors inside src/ would break examples users
+copy-paste, and the curated surface would stop meaning anything.  Fix by
+importing the name from `repro` (exporting it there if it genuinely
+belongs to the stable surface) or from one of the public subpackages."""
+
+    def check(self, module: Module, index: ModuleIndex) -> Iterator[Finding]:
+        parts = module.path.parts
+        if not any(consumer in parts for consumer in CONSUMER_DIRS):
+            return
+        for name, line in module.imports:
+            if name == "repro" or not name.startswith("repro."):
+                continue
+            if name in PUBLIC_PACKAGES or name.startswith(
+                tuple(pkg + "." for pkg in PUBLIC_PACKAGES)
+            ):
+                continue
+            yield self.finding(
+                module, line,
+                f"imports internal module {name}; consumers use the public "
+                "surface — `repro` itself or "
+                f"{', '.join(PUBLIC_PACKAGES)}",
+            )

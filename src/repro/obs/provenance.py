@@ -34,6 +34,17 @@ the replay proves the accounting is complete::
 
     sum(components) == latency == dur      # exact up to float tolerance
     every component >= 0                   # no stall attributed twice
+
+Serving decisions (``cat="serving"``) record the fleet layer's routing and
+admission arithmetic.  A ``route`` record carries the tenant's registration
+index and the placement policy, so the shard is recomputable (round-robin
+and hash placements are pure functions; pinned placement is range-checked);
+an ``admit``/``throttle`` record carries the post-refill token level the
+bucket decided at::
+
+    shard == index % n_shards                 # round_robin
+    shard == stable_hash(tenant) % n_shards   # hash (FNV-1a, process-stable)
+    admit iff tokens >= 1.0, 0 <= tokens <= burst
 """
 
 from __future__ import annotations
@@ -47,10 +58,13 @@ __all__ = [
     "EQ8_FIELDS",
     "SHED_FIELDS",
     "SPAN_FIELDS",
+    "SERVING_ROUTE_FIELDS",
+    "SERVING_ADMIT_FIELDS",
     "verify_eq7_record",
     "verify_eq8_record",
     "verify_shed_record",
     "verify_span_record",
+    "verify_serving_record",
     "replay_trace",
 ]
 
@@ -66,6 +80,12 @@ SHED_FIELDS = ("policy", "action", "lag", "latency_bound", "active", "run_budget
 #: Fields every span record must carry: the components plus the latency
 #: they decompose.
 SPAN_FIELDS = SPAN_COMPONENTS + ("latency", "dur")
+
+#: Fields every fleet routing record must carry.
+SERVING_ROUTE_FIELDS = ("tenant", "shard", "policy", "index", "n_shards")
+
+#: Fields every fleet admission decision must carry.
+SERVING_ADMIT_FIELDS = ("tenant", "seq_no", "tokens", "rate", "burst")
 
 _TOL = 1e-9
 
@@ -221,12 +241,79 @@ def verify_span_record(record: Mapping[str, Any]) -> list[str]:
     return problems
 
 
+def verify_serving_record(record: Mapping[str, Any]) -> list[str]:
+    """Problems with one fleet serving record (empty list = consistent).
+
+    ``route`` records replay the placement function itself: round-robin and
+    hash placements are pure functions of the recorded inputs, so the shard
+    is recomputed and compared (the FNV-1a hash is imported from
+    :mod:`repro.serving.placement` lazily — the serving layer sits above
+    this module).  Pinned placements carry no function to replay, so only
+    the range invariant is checked.  Admission records replay the token
+    bucket's threshold: admit iff at least one whole token was present.
+    """
+    problems: list[str] = []
+    name = record.get("name")
+    if name == "route":
+        missing = [field for field in SERVING_ROUTE_FIELDS if field not in record]
+        if missing:
+            return [f"serving seq={record.get('seq')}: missing fields {missing}"]
+        n_shards = record["n_shards"]
+        shard = record["shard"]
+        if not (0 <= shard < n_shards):
+            problems.append(
+                f"serving seq={record.get('seq')}: tenant {record['tenant']!r} "
+                f"routed to shard {shard}, outside [0, {n_shards})"
+            )
+            return problems
+        policy = record["policy"]
+        expected: int | None = None
+        if policy == "round_robin":
+            expected = record["index"] % n_shards
+        elif policy == "hash":
+            from repro.serving.placement import stable_hash
+
+            expected = stable_hash(record["tenant"]) % n_shards
+        elif policy != "pinned":
+            problems.append(
+                f"serving seq={record.get('seq')}: unknown placement "
+                f"policy {policy!r}"
+            )
+        if expected is not None and shard != expected:
+            problems.append(
+                f"serving seq={record.get('seq')}: {policy} placement of "
+                f"tenant {record['tenant']!r} implies shard {expected}, "
+                f"recorded {shard}"
+            )
+    elif name in ("admit", "throttle"):
+        missing = [field for field in SERVING_ADMIT_FIELDS if field not in record]
+        if missing:
+            return [f"serving seq={record.get('seq')}: missing fields {missing}"]
+        tokens = record["tokens"]
+        burst = record["burst"]
+        if tokens < -_TOL or tokens > burst + _TOL:
+            problems.append(
+                f"serving seq={record.get('seq')}: token level {tokens!r} "
+                f"outside [0, burst={burst!r}]"
+            )
+        expected_name = "admit" if tokens >= 1.0 else "throttle"
+        if name != expected_name:
+            problems.append(
+                f"serving seq={record.get('seq')}: {tokens!r} tokens imply "
+                f"{expected_name!r}, recorded {name!r}"
+            )
+    else:
+        problems.append(f"serving seq={record.get('seq')}: unknown record name {name!r}")
+    return problems
+
+
 def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     """Replay every decision record; returns counts and collected problems."""
     checked_eq7 = 0
     checked_eq8 = 0
     checked_shed = 0
     checked_spans = 0
+    checked_serving = 0
     problems: list[str] = []
     for record in records:
         if record.get("cat") == "prefetch" and record.get("name") == "decision":
@@ -241,10 +328,14 @@ def replay_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         elif record.get("cat") == "span" and record.get("name") == SPAN_RECORD_NAME:
             checked_spans += 1
             problems.extend(verify_span_record(record))
+        elif record.get("cat") == "serving":
+            checked_serving += 1
+            problems.extend(verify_serving_record(record))
     return {
         "checked_eq7": checked_eq7,
         "checked_eq8": checked_eq8,
         "checked_shed": checked_shed,
         "checked_spans": checked_spans,
+        "checked_serving": checked_serving,
         "problems": problems,
     }

@@ -41,6 +41,7 @@ __all__ = [
     "CAT_MATCH",
     "CAT_SPAN",
     "CAT_SHED",
+    "CAT_SERVING",
     "CATEGORIES",
     "Tracer",
     "NULL_TRACER",
@@ -66,6 +67,10 @@ CAT_SHED = "shed"                # load-shedding decisions (conditional: only
                                  # so it is NOT part of CATEGORIES — the CI
                                  # smoke requires every CATEGORIES entry in a
                                  # default, shedding-free trace)
+CAT_SERVING = "serving"          # fleet-layer route / admit / throttle
+                                 # decisions (conditional, like CAT_SHED:
+                                 # only a FleetBuilder deployment emits
+                                 # them, so not part of CATEGORIES either)
 
 CATEGORIES = (
     CAT_EVENT,

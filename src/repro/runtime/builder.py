@@ -56,7 +56,7 @@ from repro.utility.rates import RateEstimator
 if TYPE_CHECKING:  # imported lazily at runtime (layering: runtime < core)
     from repro.core.config import EiresConfig
 
-__all__ = ["RuntimeBuilder", "Runtime", "CACHE_AUTO", "CACHE_ALWAYS"]
+__all__ = ["RuntimeBuilder", "Runtime", "SharedPlane", "CACHE_AUTO", "CACHE_ALWAYS"]
 
 # Whether build() materialises the cache only when some session wants one
 # (single-query behaviour) or unconditionally (multi-query: the shared
@@ -69,6 +69,71 @@ def _default_config() -> "EiresConfig":
     from repro.core.config import EiresConfig
 
     return EiresConfig()
+
+
+class SharedPlane:
+    """The substrate one or more runtimes share: clock, metrics, remote plane.
+
+    A plain :meth:`RuntimeBuilder.build` constructs a private plane; the
+    fleet layer (:mod:`repro.serving`) builds *one* plane and threads it
+    through every shard's ``build(plane=...)``, so all shards share the
+    virtual clock, the metrics registry, and the remote-data plane
+    (transport + batching + cache) — batched fetches and cached keys then
+    amortize across tenants while per-shard sessions stay isolated.
+    """
+
+    def __init__(
+        self,
+        config: "EiresConfig",
+        tracer: Tracer,
+        clock: VirtualClock,
+        metrics: MetricsRegistry,
+        rng,
+        monitor: LatencyMonitor,
+        transport: Transport,
+    ) -> None:
+        self.config = config
+        self.tracer = tracer
+        self.clock = clock
+        self.metrics = metrics
+        self.rng = rng
+        self.monitor = monitor
+        self.transport = transport
+        # The shared cache, created lazily by the first build that wants
+        # one; its cost-based utility function reads ``runtimes`` live.
+        self.cache: Cache | None = None
+        #: every Runtime assembled on this plane, in build order.
+        self.runtimes: list["Runtime"] = []
+        self._observability_bound = False
+
+    def bind_observability(self) -> None:
+        """Bind the transport's counters and trace bus exactly once.
+
+        Every shard build calls this at the same assembly point; only the
+        first call binds, so a shared transport is never rebound (see
+        :meth:`repro.remote.transport.Transport.bind_observability`).
+        """
+        if not self._observability_bound:
+            self.transport.bind_observability(self.metrics, self.tracer)
+            self._observability_bound = True
+
+    def ensure_cache(self, policy: str, capacity: int) -> Cache:
+        """The plane-wide cache, created on first demand."""
+        from repro.core.config import CACHE_COST, CACHE_LRU
+
+        if self.cache is None:
+            if policy == CACHE_LRU:
+                self.cache = LRUCache(capacity)
+            elif policy == CACHE_COST:
+                self.cache = CostBasedCache(capacity, utility_fn=self.shared_utility)
+            else:
+                raise ValueError(f"unknown cache policy {policy!r}")
+            self.cache.bind_observability(self.metrics, self.tracer)
+        return self.cache
+
+    def shared_utility(self, key: DataKey) -> float:
+        """Priority-weighted utility summed over every runtime on the plane."""
+        return sum(runtime.shared_utility(key) for runtime in self.runtimes)
 
 
 class RuntimeBuilder:
@@ -117,16 +182,14 @@ class RuntimeBuilder:
         self._specs.append(spec)
         return self
 
-    def build(self) -> "Runtime":
-        """Assemble the substrate and one session per registered query."""
-        from repro.core.config import CACHE_COST, CACHE_LRU
+    def build_plane(self) -> SharedPlane:
+        """Construct the shared substrate (one per deployment).
 
-        if not self._specs:
-            raise ValueError("at least one query is required")
-        names = [spec.query.name for spec in self._specs]
-        if len(set(names)) != len(names):
-            raise ValueError(f"query names must be unique: {names}")
-
+        The construction order here — clock, metrics, RNG tree, monitor,
+        fault model, retry policy, breakers, transport — is load-bearing:
+        the RNG spawns happen in a fixed sequence so every build draws the
+        exact random streams the pre-plane builder did.
+        """
         config = self.config
         tracer = self.tracer
         clock = VirtualClock()
@@ -172,15 +235,37 @@ class RuntimeBuilder:
                 per_key_latency=config.batch_per_key_latency,
             ),
         )
+        return SharedPlane(config, tracer, clock, metrics, rng, monitor, transport)
+
+    def build(self, plane: SharedPlane | None = None) -> "Runtime":
+        """Assemble the substrate and one session per registered query.
+
+        ``plane`` injects an existing :class:`SharedPlane` (the fleet layer
+        builds one runtime per shard on a single plane); by default each
+        build gets a private plane and behaves exactly as it always did.
+        """
+        if not self._specs:
+            raise ValueError("at least one query is required")
+        names = [spec.query.name for spec in self._specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"query names must be unique: {names}")
+
+        config = self.config
+        tracer = self.tracer
+        if plane is None:
+            plane = self.build_plane()
+        transport = plane.transport
+        transport.attach_consumer()
 
         runtime = Runtime(
             config=config,
-            clock=clock,
-            metrics=metrics,
+            clock=plane.clock,
+            metrics=plane.metrics,
             tracer=tracer,
-            monitor=monitor,
+            monitor=plane.monitor,
             transport=transport,
         )
+        plane.runtimes.append(runtime)
 
         specs = sorted(self._specs, key=lambda spec: -spec.priority)
         strategies = [
@@ -192,7 +277,7 @@ class RuntimeBuilder:
             # Default the trace track to the strategy so multi-strategy
             # comparisons land on separate rows in the Chrome viewer.
             tracer.track = strategies[0].name
-        transport.bind_observability(metrics, tracer)
+        plane.bind_observability()
         if tracer.enabled:
             # Latency-attribution spans ride the trace bus: a span tracker
             # exists exactly when tracing does, so untraced runs keep their
@@ -200,23 +285,17 @@ class RuntimeBuilder:
             for strategy in strategies:
                 strategy.spans = SpanTracker()
 
-        # The shared cache closes over the session list, which is populated
-        # below — the cost-based utility function reads it live.
+        # The shared cache closes over the plane's runtime list, whose
+        # sessions are populated below — the cost-based utility function
+        # reads it live.
         want_cache = self.cache_mode == CACHE_ALWAYS or any(
             strategy.uses_cache for strategy in strategies
         )
-        if want_cache:
-            if config.cache_policy == CACHE_LRU:
-                cache: Cache | None = LRUCache(config.cache_capacity)
-            elif config.cache_policy == CACHE_COST:
-                cache = CostBasedCache(
-                    config.cache_capacity, utility_fn=runtime.shared_utility
-                )
-            else:
-                raise ValueError(f"unknown cache policy {config.cache_policy!r}")
-            cache.bind_observability(metrics, tracer)
-        else:
-            cache = None
+        cache = (
+            plane.ensure_cache(config.cache_policy, config.cache_capacity)
+            if want_cache
+            else None
+        )
         runtime.cache = cache
 
         noise = NoiseModel(config.noise_ratio, seed=config.seed)
@@ -230,7 +309,7 @@ class RuntimeBuilder:
                     recall_floor=config.slo_recall_floor,
                     fetch_budget=config.slo_fetch_budget,
                 ),
-                metrics,
+                plane.metrics,
             )
         scope_sessions = len(specs) > 1
         for spec, strategy in zip(specs, strategies):
@@ -263,10 +342,14 @@ class RuntimeBuilder:
         utility = UtilityModel(automaton, self.store, runtime.monitor, noise=runtime.noise)
         rates = RateEstimator()
         # Multi-query sessions get their own metric namespace so fetch.*
-        # counters do not collide on the shared registry.
-        session_metrics = (
-            runtime.metrics.scoped(f"query.{spec.query.name}") if scoped else runtime.metrics
-        )
+        # counters do not collide on the shared registry; a spec-level scope
+        # (the fleet layer's ``tenant.<id>.query.<name>``) wins outright.
+        if spec.scope is not None:
+            session_metrics = runtime.metrics.scoped(spec.scope)
+        elif scoped:
+            session_metrics = runtime.metrics.scoped(f"query.{spec.query.name}")
+        else:
+            session_metrics = runtime.metrics
         strategy.attach(
             RuntimeContext(
                 automaton=automaton,
@@ -338,17 +421,19 @@ class RuntimeBuilder:
         if config.shed_policy == SHED_NONE:
             return None
         # Backends lacking the shedding surface were already refused by the
-        # capability check in _build_session.
+        # capability check in _build_session.  A per-spec run budget (the
+        # fleet's tenant quota) overrides the config-wide one.
+        run_budget = spec.run_budget if spec.run_budget is not None else config.run_budget
         detector = OverloadDetector(
             latency_bound=config.latency_bound,
-            run_budget=config.run_budget,
+            run_budget=run_budget,
             slo=runtime.slo if config.slo_in_detector else None,
         )
         policy = make_shedding_policy(
             config.shed_policy,
             automaton=automaton,
             omega=config.omega_shed,
-            run_budget=config.run_budget,
+            run_budget=run_budget,
             event_threshold=config.shed_event_threshold,
         )
         return LoadShedder(

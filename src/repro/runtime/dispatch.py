@@ -33,7 +33,16 @@ from repro.remote.transport import TRANSPORT_COUNTER_KEYS
 from repro.runtime.session import QuerySession
 from repro.sim.clock import VirtualClock
 
-__all__ = ["RunResult", "dispatch", "THROUGHPUT_RUN", "THROUGHPUT_SHARED"]
+__all__ = [
+    "RunResult",
+    "dispatch",
+    "deliver_event",
+    "flush_transports",
+    "finish_sessions",
+    "collect_results",
+    "THROUGHPUT_RUN",
+    "THROUGHPUT_SHARED",
+]
 
 # How a result's throughput meter relates to the run that produced it:
 # "run"    — the meter covers exactly this result's replay (single query);
@@ -133,6 +142,155 @@ class RunResult:
         )
 
 
+def deliver_event(
+    session: QuerySession,
+    event,
+    index: int,
+    clock: VirtualClock,
+    tracer: Tracer = NULL_TRACER,
+    multi: bool = False,
+    slo=None,
+) -> None:
+    """Deliver one event to one session: substrate work, shedding, ``f_Q``.
+
+    The per-session body of the dispatch loop, factored out so higher-level
+    replay loops (the multi-tenant fleet in :mod:`repro.serving`) drive the
+    exact same code path event for event.  ``multi`` controls whether trace
+    records carry a ``query`` field disambiguating the session.
+    """
+    strategy = session.strategy
+    # The span tracker's pickup time is where queueing attribution
+    # ends: everything before it was the event waiting its turn.
+    spans = strategy.spans
+    if spans is not None:
+        spans.begin_event(clock.now)
+    strategy.on_event_start(event, index)
+    # Overload control (when configured): input-event shedding skips
+    # the NFA step entirely; run shedding prunes the population the
+    # step just grew.  The substrate work above (async deliveries,
+    # scheduled prefetches, estimator refresh) always happens.
+    shedder = session.shedder
+    if shedder is not None:
+        before = clock.now
+        dropped = shedder.before_event(event, session.engine)
+        if spans is not None:
+            spans.add_shed_stall(clock.now - before)
+        if dropped:
+            return
+    step_matches = session.engine.process_event(event, strategy)
+    strategy.on_event_end(event, step_matches)
+    if shedder is not None:
+        shedder.after_event(event, session.engine, strategy)
+    for match in step_matches:
+        session.latency.record(match.latency)
+        if slo is not None:
+            slo.observe_match(match.latency, clock.now)
+        if tracer.enabled:
+            fields: dict[str, Any] = {
+                "latency": match.latency,
+                "fetch_wait": match.fetch_wait,
+                "events": [
+                    [binding, bound.seq]
+                    for binding, bound in sorted(match.events.items())
+                ],
+            }
+            if multi:
+                fields["query"] = session.name
+            tracer.emit(CAT_MATCH, "emit", match.detected_at, **fields)
+            if match.span is not None:
+                span_fields: dict[str, Any] = dict(match.span)
+                if multi:
+                    span_fields["query"] = session.name
+                tracer.emit(
+                    CAT_SPAN,
+                    SPAN_RECORD_NAME,
+                    match.last_event_t,
+                    dur=match.latency,
+                    latency=match.latency,
+                    **span_fields,
+                )
+    session.matches.extend(step_matches)
+
+
+def flush_transports(
+    sessions: Sequence[QuerySession],
+    clock: VirtualClock,
+    flushed: set[int] | None = None,
+) -> set[int]:
+    """Close any batch window still open when the stream ends.
+
+    Each transport is flushed exactly once — sessions may share one — so
+    the final deliveries and counters are deterministic regardless of where
+    the stream was cut.  ``flushed`` lets a caller span the dedup set over
+    several session groups (the fleet's shards share one transport).
+    """
+    if flushed is None:
+        flushed = set()
+    for session in sessions:
+        ctx = session.strategy.ctx
+        if ctx is None or ctx.transport is None:
+            continue
+        if id(ctx.transport) in flushed:
+            continue
+        flushed.add(id(ctx.transport))
+        ctx.transport.flush_batches(clock.now)
+    return flushed
+
+
+def finish_sessions(sessions: Sequence[QuerySession]) -> None:
+    """Drain every strategy and flush every engine after the last event."""
+    for session in sessions:
+        session.strategy.end_of_stream()
+        session.engine.flush(session.strategy)
+
+
+def collect_results(
+    sessions: Sequence[QuerySession],
+    throughput: ThroughputMeter,
+    duration_us: float,
+    scope: str,
+    shared_cache: Cache | None = None,
+    series_rows: list[dict[str, Any]] | None = None,
+) -> list[RunResult]:
+    """One :class:`RunResult` per session, in session order."""
+    results = []
+    for session in sessions:
+        ctx = session.strategy.ctx
+        cache = ctx.cache if ctx is not None else None
+        if cache is None:
+            cache = shared_cache
+        transport = ctx.transport if ctx is not None else None
+        engine_stats = session.engine.stats.as_dict()
+        engine_stats.update(session.strategy.drops.as_dict())
+        results.append(
+            RunResult(
+                strategy_name=session.strategy.name,
+                matches=session.matches,
+                latency=session.latency,
+                throughput=throughput,
+                engine_stats=engine_stats,
+                strategy_stats=session.strategy.stats.as_dict(),
+                cache_stats=cache.stats.as_dict() if cache is not None else None,
+                transport_stats={
+                    key: getattr(transport, key) for key in TRANSPORT_COUNTER_KEYS
+                }
+                if transport is not None
+                else {},
+                duration_us=duration_us,
+                metrics=ctx.metrics.snapshot()
+                if ctx is not None and ctx.metrics is not None
+                else None,
+                throughput_scope=scope,
+                shed_stats=session.shedder.stats.as_dict()
+                if session.shedder is not None
+                else None,
+                series=series_rows,
+                backend=session.spec.backend if session.spec is not None else "reference",
+            )
+        )
+    return results
+
+
 def dispatch(
     clock: VirtualClock,
     sessions: Sequence[QuerySession],
@@ -177,58 +335,7 @@ def dispatch(
         if slo is not None:
             slo.observe_event(clock.now)
         for session in sessions:
-            strategy = session.strategy
-            # The span tracker's pickup time is where queueing attribution
-            # ends: everything before it was the event waiting its turn.
-            spans = strategy.spans
-            if spans is not None:
-                spans.begin_event(clock.now)
-            strategy.on_event_start(event, index)
-            # Overload control (when configured): input-event shedding skips
-            # the NFA step entirely; run shedding prunes the population the
-            # step just grew.  The substrate work above (async deliveries,
-            # scheduled prefetches, estimator refresh) always happens.
-            shedder = session.shedder
-            if shedder is not None:
-                before = clock.now
-                dropped = shedder.before_event(event, session.engine)
-                if spans is not None:
-                    spans.add_shed_stall(clock.now - before)
-                if dropped:
-                    continue
-            step_matches = session.engine.process_event(event, strategy)
-            strategy.on_event_end(event, step_matches)
-            if shedder is not None:
-                shedder.after_event(event, session.engine, strategy)
-            for match in step_matches:
-                session.latency.record(match.latency)
-                if slo is not None:
-                    slo.observe_match(match.latency, clock.now)
-                if tracer.enabled:
-                    fields: dict[str, Any] = {
-                        "latency": match.latency,
-                        "fetch_wait": match.fetch_wait,
-                        "events": [
-                            [binding, bound.seq]
-                            for binding, bound in sorted(match.events.items())
-                        ],
-                    }
-                    if multi:
-                        fields["query"] = session.name
-                    tracer.emit(CAT_MATCH, "emit", match.detected_at, **fields)
-                    if match.span is not None:
-                        span_fields: dict[str, Any] = dict(match.span)
-                        if multi:
-                            span_fields["query"] = session.name
-                        tracer.emit(
-                            CAT_SPAN,
-                            SPAN_RECORD_NAME,
-                            match.last_event_t,
-                            dur=match.latency,
-                            latency=match.latency,
-                            **span_fields,
-                        )
-            session.matches.extend(step_matches)
+            deliver_event(session, event, index, clock, tracer, multi, slo)
         throughput.record_event(clock.now)
         if sampler is not None and sampler.due(clock.now):
             # Gauge refresh before the snapshot, so sampled slo.* values
@@ -237,22 +344,8 @@ def dispatch(
                 slo.evaluate(clock.now)
             sampler.maybe_sample(clock.now)
 
-    # Close any batch window still open when the stream ends (each transport
-    # exactly once — sessions may share one) so the final deliveries and
-    # counters are deterministic regardless of where the stream was cut.
-    flushed_transports: set[int] = set()
-    for session in sessions:
-        ctx = session.strategy.ctx
-        if ctx is None or ctx.transport is None:
-            continue
-        if id(ctx.transport) in flushed_transports:
-            continue
-        flushed_transports.add(id(ctx.transport))
-        ctx.transport.flush_batches(clock.now)
-
-    for session in sessions:
-        session.strategy.end_of_stream()
-        session.engine.flush(session.strategy)
+    flush_transports(sessions, clock)
+    finish_sessions(sessions)
 
     # Final health read: the end-of-run burns land on the slo.* gauges
     # before the per-result metrics snapshots (and the final series row).
@@ -263,40 +356,11 @@ def dispatch(
     series_rows = sampler.rows() if sampler is not None else None
 
     scope = THROUGHPUT_SHARED if multi else THROUGHPUT_RUN
-    duration = clock.now - start
-    results = []
-    for session in sessions:
-        ctx = session.strategy.ctx
-        cache = ctx.cache if ctx is not None else None
-        if cache is None:
-            cache = shared_cache
-        transport = ctx.transport if ctx is not None else None
-        engine_stats = session.engine.stats.as_dict()
-        engine_stats.update(session.strategy.drops.as_dict())
-        results.append(
-            RunResult(
-                strategy_name=session.strategy.name,
-                matches=session.matches,
-                latency=session.latency,
-                throughput=throughput,
-                engine_stats=engine_stats,
-                strategy_stats=session.strategy.stats.as_dict(),
-                cache_stats=cache.stats.as_dict() if cache is not None else None,
-                transport_stats={
-                    key: getattr(transport, key) for key in TRANSPORT_COUNTER_KEYS
-                }
-                if transport is not None
-                else {},
-                duration_us=duration,
-                metrics=ctx.metrics.snapshot()
-                if ctx is not None and ctx.metrics is not None
-                else None,
-                throughput_scope=scope,
-                shed_stats=session.shedder.stats.as_dict()
-                if session.shedder is not None
-                else None,
-                series=series_rows,
-                backend=session.spec.backend if session.spec is not None else "reference",
-            )
-        )
-    return results
+    return collect_results(
+        sessions,
+        throughput,
+        clock.now - start,
+        scope,
+        shared_cache=shared_cache,
+        series_rows=series_rows,
+    )

@@ -35,9 +35,16 @@ class QuerySpec:
     instance; ``backend`` names a registered evaluation backend (see
     :func:`repro.backends.list_backends`) and is stored in canonical form
     (``"automaton"`` normalises to ``"reference"``).
+
+    ``run_budget`` overrides the config-wide shedding run budget for this
+    query alone (the fleet layer maps per-tenant quotas onto it); ``scope``
+    overrides the session's metric namespace (default: ``query.<name>``
+    when several sessions share one registry).  Both default to ``None`` —
+    the spec then behaves exactly as it did before the fields existed.
     """
 
-    __slots__ = ("query", "priority", "strategy_name", "strategy_instance", "backend")
+    __slots__ = ("query", "priority", "strategy_name", "strategy_instance", "backend",
+                 "run_budget", "scope")
 
     def __init__(
         self,
@@ -45,9 +52,13 @@ class QuerySpec:
         priority: float = 1.0,
         strategy: str | FetchStrategy = "Hybrid",
         backend: str = BACKEND_AUTOMATON,
+        run_budget: int | None = None,
+        scope: str | None = None,
     ) -> None:
         if priority <= 0:
             raise ValueError(f"query priority must be positive: {priority}")
+        if run_budget is not None and run_budget <= 0:
+            raise ValueError(f"run budget must be positive: {run_budget}")
         self.query = query
         self.priority = priority
         if isinstance(strategy, str):
@@ -57,6 +68,8 @@ class QuerySpec:
             self.strategy_name = strategy.name
             self.strategy_instance = strategy
         self.backend = resolve_backend(backend)
+        self.run_budget = run_budget
+        self.scope = scope
 
     def __repr__(self) -> str:
         return f"QuerySpec({self.query.name!r}, priority={self.priority}, {self.strategy_name})"

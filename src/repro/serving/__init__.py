@@ -1,0 +1,39 @@
+"""repro.serving — the multi-tenant fleet layer.
+
+Partitions tenants across worker shards, each a shard-local
+:class:`~repro.runtime.builder.Runtime`, all sharing one remote-data plane
+(transport + batching + cache) and one virtual clock — so fetches overlap
+and amortise across tenants while dispatch stays deterministic and a
+single-shard single-tenant fleet is byte-identical to a plain
+``RuntimeBuilder`` run.
+
+Compose fleets exclusively through :class:`FleetBuilder` (analysis rule
+A7): declare :class:`TenantSpec`\\ s, pick a placement policy, ``build()``,
+``dispatch(stream)``.
+"""
+
+from repro.serving.fleet import Fleet, FleetBuilder, FleetResult
+from repro.serving.placement import (
+    PLACE_HASH,
+    PLACE_PINNED,
+    PLACE_ROUND_ROBIN,
+    PLACEMENTS,
+    assign_shards,
+    stable_hash,
+)
+from repro.serving.ratelimit import TokenBucket
+from repro.serving.tenant import TenantSpec
+
+__all__ = [
+    "FleetBuilder",
+    "Fleet",
+    "FleetResult",
+    "TenantSpec",
+    "TokenBucket",
+    "PLACE_ROUND_ROBIN",
+    "PLACE_HASH",
+    "PLACE_PINNED",
+    "PLACEMENTS",
+    "assign_shards",
+    "stable_hash",
+]

@@ -1,0 +1,497 @@
+"""The fleet layer: tenants on shards over one shared remote-data plane.
+
+:class:`FleetBuilder` is the serving-side composition root.  It validates
+the :class:`~repro.serving.tenant.TenantSpec` set, maps tenants onto
+worker shards (:mod:`repro.serving.placement`), and assembles one
+shard-local :class:`~repro.runtime.builder.Runtime` per shard — all on a
+single :class:`~repro.runtime.builder.SharedPlane`, so every shard shares
+the virtual clock, the metrics registry, and the remote-data plane
+(transport + batching + cache).  Overlapping keys fetched by different
+tenants coalesce on the shared transport and hit the shared cache: the
+whole point of multi-tenancy here is that total wire traffic is *less*
+than the sum of isolated runs.
+
+:meth:`Fleet.dispatch` is the multi-shard generalisation of
+:func:`repro.runtime.dispatch.dispatch`: one event at a time on the shared
+clock, shards in id order, sessions in priority order within a shard —
+the same ``deliver_event`` body per session, so a single-shard
+single-tenant fleet is byte-identical to a plain ``RuntimeBuilder`` run.
+Per-tenant token buckets gate admission (decided once per tenant per
+event), and every route/admit/throttle decision lands on the trace bus as
+a ``serving`` record that :func:`repro.obs.provenance.replay_trace`
+re-derives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.metrics.throughput import ThroughputMeter
+from repro.obs.series import SeriesSampler
+from repro.obs.slo import SloPlane
+from repro.obs.trace import CAT_EVENT, CAT_SERVING
+from repro.remote.transport import TRANSPORT_COUNTER_KEYS
+from repro.runtime.builder import Runtime, RuntimeBuilder, SharedPlane
+from repro.runtime.dispatch import (
+    THROUGHPUT_RUN,
+    THROUGHPUT_SHARED,
+    RunResult,
+    collect_results,
+    deliver_event,
+    finish_sessions,
+    flush_transports,
+)
+from repro.runtime.session import QuerySpec
+from repro.serving.placement import PLACE_ROUND_ROBIN, assign_shards
+from repro.serving.ratelimit import TokenBucket
+from repro.serving.tenant import TenantSpec
+from repro.shedding.policy import SHED_NONE
+
+__all__ = ["FleetBuilder", "Fleet", "FleetResult"]
+
+
+class FleetBuilder:
+    """Declares a fleet: tenants, shard count, placement policy.
+
+    Usage::
+
+        fleet = (
+            FleetBuilder(store, UniformLatency(10, 100), n_shards=3)
+            .add_tenant(TenantSpec("alpha", [q1, q2], rate_limit=500.0))
+            .add_tenant(TenantSpec("beta", q3))
+            .build()
+        )
+        result = fleet.dispatch(stream)       # FleetResult
+        alpha = result.tenant_result("alpha") # {query_name: RunResult}
+    """
+
+    def __init__(
+        self,
+        store,
+        latency_model,
+        n_shards: int = 1,
+        placement: str = PLACE_ROUND_ROBIN,
+        pins: Mapping[str, int] | None = None,
+        config=None,
+        tracer=None,
+    ) -> None:
+        self.store = store
+        self.latency_model = latency_model
+        self.n_shards = n_shards
+        self.placement_policy = placement
+        self.pins = dict(pins) if pins is not None else None
+        self.config = config
+        self.tracer = tracer
+        self._tenants: list[TenantSpec] = []
+
+    def add_tenant(self, tenant: TenantSpec) -> "FleetBuilder":
+        """Register a tenant; chainable."""
+        self._tenants.append(tenant)
+        return self
+
+    def build(self) -> "Fleet":
+        """Validate the tenant set, place it, and assemble the shard runtimes."""
+        tenants = self._tenants
+        if not tenants:
+            raise ValueError("a fleet needs at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique: {names}")
+        query_names = [name for tenant in tenants for name in tenant.query_names]
+        if len(set(query_names)) != len(query_names):
+            raise ValueError(
+                f"query names must be unique across the fleet: {query_names}"
+            )
+
+        placement = assign_shards(
+            names, self.n_shards, self.placement_policy, self.pins
+        )
+
+        # One RuntimeBuilder per shard, all on the SAME config object so the
+        # plane built from the first also governs every other shard's build.
+        shard_builders = [
+            RuntimeBuilder(
+                self.store, self.latency_model,
+                config=self.config, tracer=self.tracer,
+            )
+            for _ in range(self.n_shards)
+        ]
+        self.config = config = shard_builders[0].config
+        for builder in shard_builders:
+            builder.config = config
+
+        # Tenant quotas ride the shedding plane; without a policy there is
+        # no detector to enforce them, so the spec is a silent no-op — fail
+        # loudly instead.
+        scoped = len(tenants) > 1 or self.n_shards > 1
+        for tenant in tenants:
+            if tenant.run_budget is not None and config.shed_policy == SHED_NONE:
+                raise ValueError(
+                    f"tenant {tenant.name!r} declares run_budget="
+                    f"{tenant.run_budget} but the fleet config has "
+                    f"shed_policy='none'; quotas need a shedding policy to "
+                    "enforce them"
+                )
+            builder = shard_builders[placement[tenant.name]]
+            for query in tenant.queries:
+                builder.add_spec(QuerySpec(
+                    query,
+                    priority=tenant.priority,
+                    strategy=tenant.strategy,
+                    backend=tenant.backend,
+                    run_budget=tenant.run_budget,
+                    scope=(
+                        f"tenant.{tenant.name}.query.{query.name}"
+                        if scoped else None
+                    ),
+                ))
+
+        empty = [i for i, builder in enumerate(shard_builders) if not builder._specs]
+        if empty:
+            raise ValueError(
+                f"shards {empty} received no tenants under "
+                f"{self.placement_policy!r} placement; reduce n_shards or pin "
+                "tenants explicitly"
+            )
+
+        plane = shard_builders[0].build_plane()
+        runtimes = [builder.build(plane=plane) for builder in shard_builders]
+
+        tenant_of = {
+            query_name: tenant.name
+            for tenant in tenants
+            for query_name in tenant.query_names
+        }
+        buckets = {
+            tenant.name: (
+                TokenBucket(tenant.rate_limit, tenant.burst)
+                if tenant.rate_limit is not None
+                else None
+            )
+            for tenant in tenants
+        }
+        # Per-tenant SLO planes live under the tenant's metric scope so
+        # their slo.* gauges never collide with a config-level SloPlane.
+        tenant_slos: dict[str, SloPlane] = {}
+        transport = plane.transport
+        for tenant in tenants:
+            if tenant.slo is None:
+                continue
+            slo = SloPlane(
+                tenant.slo, plane.metrics.scoped(f"tenant.{tenant.name}")
+            )
+            sessions = [
+                session
+                for session in runtimes[placement[tenant.name]].sessions
+                if tenant_of[session.name] == tenant.name
+            ]
+            # The remote-data plane is shared by design, so the fetch budget
+            # is a plane-wide burn; shed events are the tenant's own.
+            slo.bind_sources(
+                wire_requests=lambda: transport.wire_requests,
+                events_shed=lambda sessions=sessions: sum(
+                    session.shedder.stats["events_dropped"]
+                    for session in sessions
+                    if session.shedder is not None
+                ),
+            )
+            tenant_slos[tenant.name] = slo
+
+        return Fleet(
+            plane=plane,
+            runtimes=runtimes,
+            tenants=list(tenants),
+            placement=placement,
+            policy=self.placement_policy,
+            buckets=buckets,
+            tenant_slos=tenant_slos,
+            tenant_of=tenant_of,
+        )
+
+
+class Fleet:
+    """The assembled fleet: shard runtimes on one plane, plus admission state.
+
+    Built exclusively by :class:`FleetBuilder` (analysis rule A7).
+    """
+
+    def __init__(
+        self,
+        plane: SharedPlane,
+        runtimes: list[Runtime],
+        tenants: list[TenantSpec],
+        placement: dict[str, int],
+        policy: str,
+        buckets: dict[str, TokenBucket | None],
+        tenant_slos: dict[str, SloPlane],
+        tenant_of: dict[str, str],
+    ) -> None:
+        self.plane = plane
+        self.runtimes = runtimes
+        self.tenants = tenants
+        self.placement = placement
+        self.policy = policy
+        self.buckets = buckets
+        self.tenant_slos = tenant_slos
+        self.tenant_of = tenant_of
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.runtimes)
+
+    def dispatch(self, stream, smoothing_window: int = 1) -> "FleetResult":
+        """Replay ``stream`` through every shard on the shared clock.
+
+        The multi-shard generalisation of the single-runtime dispatch loop:
+        for each event, shards are visited in id order and sessions in
+        priority order (the deterministic tie-break — shard id, then event
+        sequence — is the iteration order itself).  Per-tenant admission is
+        decided once per tenant per event; throttled tenants' sessions skip
+        the event entirely, substrate work included.
+        """
+        plane = self.plane
+        clock = plane.clock
+        tracer = plane.tracer
+        config = plane.config
+        n_sessions = sum(len(runtime.sessions) for runtime in self.runtimes)
+        multi = n_sessions > 1
+
+        for runtime in self.runtimes:
+            for session in runtime.sessions:
+                session.begin_run(
+                    smoothing_window=smoothing_window,
+                    qs=config.report_percentiles,
+                )
+        sampler = (
+            SeriesSampler(plane.metrics, config.series_interval)
+            if config.series_interval > 0
+            else None
+        )
+        throughput = ThroughputMeter()
+        start = clock.now
+
+        if tracer.enabled:
+            for index, tenant in enumerate(self.tenants):
+                tracer.emit(
+                    CAT_SERVING, "route", clock.now,
+                    tenant=tenant.name,
+                    shard=self.placement[tenant.name],
+                    policy=self.policy,
+                    index=index,
+                    n_shards=self.n_shards,
+                )
+
+        admitted_counts = {tenant.name: 0 for tenant in self.tenants}
+        throttled_counts = {tenant.name: 0 for tenant in self.tenants}
+        delivered = [0] * self.n_shards
+        events_total = 0
+
+        for index, event in enumerate(stream):
+            events_total += 1
+            clock.advance_to(event.t)
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_EVENT, "arrival", event.t,
+                    seq_no=event.seq, picked_up=clock.now,
+                )
+            decisions: dict[str, bool] = {}
+            for shard_id, runtime in enumerate(self.runtimes):
+                if runtime.slo is not None:
+                    runtime.slo.observe_event(clock.now)
+                shard_touched = False
+                for session in runtime.sessions:
+                    tenant_name = self.tenant_of[session.name]
+                    admitted = decisions.get(tenant_name)
+                    if admitted is None:
+                        admitted = self._admit(tenant_name, event, clock.now)
+                        decisions[tenant_name] = admitted
+                        if admitted:
+                            admitted_counts[tenant_name] += 1
+                            tenant_slo = self.tenant_slos.get(tenant_name)
+                            if tenant_slo is not None:
+                                tenant_slo.observe_event(clock.now)
+                        else:
+                            throttled_counts[tenant_name] += 1
+                    if not admitted:
+                        continue
+                    shard_touched = True
+                    slo = self.tenant_slos.get(tenant_name)
+                    if slo is None:
+                        slo = runtime.slo
+                    deliver_event(session, event, index, clock, tracer, multi, slo)
+                if shard_touched:
+                    delivered[shard_id] += 1
+            throughput.record_event(clock.now)
+            if sampler is not None and sampler.due(clock.now):
+                self._evaluate_slos(clock.now)
+                sampler.maybe_sample(clock.now)
+
+        flushed: set[int] = set()
+        for runtime in self.runtimes:
+            flush_transports(runtime.sessions, clock, flushed)
+        for runtime in self.runtimes:
+            finish_sessions(runtime.sessions)
+
+        self._evaluate_slos(clock.now)
+        if sampler is not None:
+            sampler.finalize(clock.now)
+        series_rows = sampler.rows() if sampler is not None else None
+
+        scope = THROUGHPUT_SHARED if multi else THROUGHPUT_RUN
+        duration_us = clock.now - start
+        results: dict[str, dict[str, RunResult]] = {
+            tenant.name: {} for tenant in self.tenants
+        }
+        for runtime in self.runtimes:
+            for session, result in zip(
+                runtime.sessions,
+                collect_results(
+                    runtime.sessions, throughput, duration_us, scope,
+                    shared_cache=plane.cache, series_rows=series_rows,
+                ),
+            ):
+                results[self.tenant_of[session.name]][session.name] = result
+
+        transport = plane.transport
+        return FleetResult(
+            results=results,
+            placement=dict(self.placement),
+            policy=self.policy,
+            n_shards=self.n_shards,
+            events_total=events_total,
+            admitted=admitted_counts,
+            throttled=throttled_counts,
+            delivered=delivered,
+            duration_us=duration_us,
+            transport_stats={
+                key: getattr(transport, key) for key in TRANSPORT_COUNTER_KEYS
+            },
+            cache_stats=(
+                plane.cache.stats.as_dict() if plane.cache is not None else None
+            ),
+        )
+
+    def _admit(self, tenant_name: str, event, now: float) -> bool:
+        """One admission decision, with its ``serving`` provenance record."""
+        bucket = self.buckets.get(tenant_name)
+        if bucket is None:
+            return True
+        admitted, tokens = bucket.decide(now)
+        tracer = self.plane.tracer
+        if tracer.enabled:
+            tracer.emit(
+                CAT_SERVING,
+                "admit" if admitted else "throttle",
+                now,
+                tenant=tenant_name,
+                seq_no=event.seq,
+                tokens=tokens,
+                rate=bucket.rate,
+                burst=bucket.burst,
+            )
+        return admitted
+
+    def _evaluate_slos(self, now: float) -> None:
+        for runtime in self.runtimes:
+            if runtime.slo is not None:
+                runtime.slo.evaluate(now)
+        for slo in self.tenant_slos.values():
+            slo.evaluate(now)
+
+    def __repr__(self) -> str:
+        return (
+            f"Fleet({len(self.tenants)} tenants on {self.n_shards} shard(s), "
+            f"placement={self.policy})"
+        )
+
+
+class FleetResult:
+    """Everything one fleet replay measured, per tenant and fleet-wide.
+
+    ``results`` maps tenant name to that tenant's per-query
+    :class:`~repro.runtime.dispatch.RunResult`\\ s — the same objects a
+    plain runtime run would return.  The fleet-level fields cover what no
+    single tenant can see: placement, shard skew, and how much the shared
+    remote-data plane amortised (total fetch demand vs. wire requests).
+    """
+
+    def __init__(
+        self,
+        results: dict[str, dict[str, RunResult]],
+        placement: dict[str, int],
+        policy: str,
+        n_shards: int,
+        events_total: int,
+        admitted: dict[str, int],
+        throttled: dict[str, int],
+        delivered: list[int],
+        duration_us: float,
+        transport_stats: dict[str, Any],
+        cache_stats: dict[str, Any] | None,
+    ) -> None:
+        self.results = results
+        self.placement = placement
+        self.policy = policy
+        self.n_shards = n_shards
+        self.events_total = events_total
+        self.admitted = admitted
+        self.throttled = throttled
+        self.delivered = delivered
+        self.duration_us = duration_us
+        self.transport_stats = transport_stats
+        self.cache_stats = cache_stats
+
+    def tenant_result(self, name: str) -> dict[str, RunResult]:
+        if name not in self.results:
+            raise KeyError(f"no such tenant: {name!r}")
+        return self.results[name]
+
+    @property
+    def skew(self) -> int:
+        """Spread between the busiest and idlest shard, in delivered events."""
+        return max(self.delivered) - min(self.delivered) if self.delivered else 0
+
+    @property
+    def amortization(self) -> float:
+        """Fetch demand per wire request (>1.0 = the shared plane amortised).
+
+        Demand is what the strategies asked for (blocking + async fetches);
+        wire requests are what actually crossed the network after the shared
+        transport coalesced and batched across every tenant.
+        """
+        wire = self.transport_stats.get("wire_requests", 0)
+        if not wire:
+            return 0.0
+        demand = (
+            self.transport_stats.get("blocking_fetches", 0)
+            + self.transport_stats.get("async_fetches", 0)
+        )
+        return demand / wire
+
+    def summary(self) -> dict[str, Any]:
+        """Flat fleet-level summary (per-tenant details live in results)."""
+        data: dict[str, Any] = {
+            "n_shards": self.n_shards,
+            "n_tenants": len(self.results),
+            "placement": self.policy,
+            "events": self.events_total,
+            "admitted": sum(self.admitted.values()),
+            "throttled": sum(self.throttled.values()),
+            "skew": self.skew,
+            "amortization": round(self.amortization, 3),
+        }
+        for shard_id, count in enumerate(self.delivered):
+            data[f"shard.{shard_id}.delivered"] = count
+        data.update(
+            {f"transport.{k}": v for k, v in self.transport_stats.items()}  # eires: allow[D3] TRANSPORT_COUNTER_KEYS report order
+        )
+        if self.cache_stats is not None:
+            data.update({f"cache.{k}": v for k, v in self.cache_stats.items()})  # eires: allow[D3] CACHE_COUNTER_KEYS report order
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetResult({len(self.results)} tenants, {self.n_shards} shard(s), "
+            f"{self.events_total} events, skew={self.skew}, "
+            f"amortization={self.amortization:.2f})"
+        )

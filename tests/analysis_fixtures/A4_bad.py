@@ -1,7 +1,11 @@
 # eires-fixture: place=strategies/rogue_shim.py
-"""A deprecated Transport shim called outside repro.remote — A4 flags."""
+"""A removed Transport shim called (and redefined) — A4 flags both."""
 
 
 def resolve(transport, key, now):
     request = transport.fetch_blocking(key, now)
     return request.element
+
+
+def fetch_async(transport, key, now):
+    return transport.submit(key, now)

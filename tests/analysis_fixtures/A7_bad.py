@@ -1,0 +1,7 @@
+# eires-fixture: place=core/rogue_fleet.py
+"""Serving-plane internals wired outside repro.serving — A7 flags."""
+
+
+def assemble(shards, placement, plane):
+    bucket = TokenBucket(rate=100.0, burst=10.0)
+    return Fleet(shards, placement, plane, buckets=[bucket])

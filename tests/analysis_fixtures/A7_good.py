@@ -1,0 +1,10 @@
+# eires-fixture: place=core/uses_fleet_builder.py
+"""Tenants declared as specs; FleetBuilder composes the fleet."""
+from repro.serving import FleetBuilder, TenantSpec
+
+
+def serve(store, latency_model, tenants, queries):
+    builder = FleetBuilder(store, latency_model, n_shards=2)
+    for name in tenants:
+        builder.add_tenant(TenantSpec(name, queries[name], rate_limit=100.0))
+    return builder.build()

@@ -1,0 +1,9 @@
+# eires-fixture: place=examples/rogue_internal_import.py
+"""An example reaching into internal modules — R3 flags each import."""
+from repro.core.config import EiresConfig
+from repro.runtime.builder import RuntimeBuilder
+
+
+def build(store, latency_model, query):
+    builder = RuntimeBuilder(store, latency_model, config=EiresConfig(seed=7))
+    return builder.add_query(query).build()

@@ -1,0 +1,12 @@
+# eires-fixture: place=examples/public_surface_demo.py
+"""An example on the curated surface: `repro` + public subpackages only."""
+from repro import EIRES, EiresConfig, parse_query
+from repro.workloads import synthetic
+
+
+def run():
+    query = parse_query("SEQ(A a, B b) WITHIN 100 WHERE remote(a, 'v')")
+    stream = synthetic.make_stream(n_events=100, seed=7)
+    store = synthetic.make_store()
+    framework = EIRES(store, config=EiresConfig(seed=7))
+    return framework.run(query, stream)

@@ -233,7 +233,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in (
             "D1", "D2", "D3", "D4", "M1", "M2", "A1", "A2", "A3", "A4", "A5", "A6",
-            "T1", "T2", "T3", "P1", "R1", "R2",
+            "A7", "T1", "T2", "T3", "P1", "R1", "R2", "R3",
         ):
             assert rule_id in out
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, main
@@ -47,3 +49,124 @@ class TestCompare:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["compare", "--workload", "nope"])
+
+
+class TestConfigFile:
+    """--config FILE round-trips TOML into flag defaults."""
+
+    def write_config(self, tmp_path, text):
+        path = tmp_path / "eires.toml"
+        path.write_text(text)
+        return str(path)
+
+    def test_config_file_sets_defaults(self, tmp_path, capsys):
+        path = self.write_config(
+            tmp_path, 'cache_policy = "lru"\ncache_capacity = 64\n'
+        )
+        code = main([
+            "compare", "--workload", "q1", "--events", "400",
+            "--strategies", "Hybrid", "--config", path,
+        ])
+        assert code == 0
+        assert "lru cache (capacity 64)" in capsys.readouterr().out
+
+    def test_explicit_flag_beats_config(self, tmp_path, capsys):
+        path = self.write_config(
+            tmp_path, 'cache_policy = "lru"\ncache_capacity = 64\n'
+        )
+        code = main([
+            "compare", "--workload", "q1", "--events", "400",
+            "--strategies", "Hybrid", "--config", path, "--cache", "cost",
+        ])
+        assert code == 0
+        assert "cost cache (capacity 64)" in capsys.readouterr().out
+
+    def test_unknown_config_key_exits_two(self, tmp_path, capsys):
+        path = self.write_config(tmp_path, 'cache_polciy = "lru"\n')
+        with pytest.raises(SystemExit) as exc:
+            main(["compare", "--workload", "q1", "--config", path])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown --config key" in err and "accepted keys" in err
+
+    def test_unreadable_config_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["compare", "--workload", "q1",
+                  "--config", str(tmp_path / "missing.toml")])
+        assert exc.value.code == 2
+        assert "cannot load --config" in capsys.readouterr().err
+
+    def test_equals_form_is_recognised(self, tmp_path, capsys):
+        path = self.write_config(tmp_path, "cache_capacity = 32\n")
+        code = main([
+            "compare", "--workload", "q1", "--events", "400",
+            "--strategies", "Hybrid", f"--config={path}",
+        ])
+        assert code == 0
+        assert "(capacity 32)" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_prints_fleet_and_tenants(self, capsys):
+        code = main([
+            "serve", "--workload", "q1", "--events", "400",
+            "--tenants", "2", "--shards", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 tenants on 2 shard(s)" in out
+        assert "tenant0" in out and "tenant1" in out
+
+    def test_serve_json_schema(self, capsys):
+        code = main([
+            "serve", "--workload", "q1", "--events", "400",
+            "--tenants", "2", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"fleet", "tenants"}
+        assert report["fleet"]["n_tenants"] == 2
+        assert len(report["tenants"]) == 2
+        for row in report["tenants"]:
+            assert set(row) == {
+                "tenant", "query", "shard", "matches", "admitted",
+                "throttled", "p50", "p95",
+            }
+
+    def test_serve_rate_limit_throttles(self, capsys):
+        code = main([
+            "serve", "--workload", "q1", "--events", "800",
+            "--tenants", "2", "--rate-limit", "20000", "--burst", "8",
+            "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fleet"]["throttled"] > 0
+        assert all(row["admitted"] + row["throttled"] == 800
+                   for row in report["tenants"])
+
+    def test_serve_trace_replays_clean(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.trace.jsonl"
+        code = main([
+            "serve", "--workload", "q1", "--events", "400",
+            "--tenants", "2", "--shards", "2",
+            "--rate-limit", "20000", "--burst", "8",
+            "--trace-out", str(out_path), "--trace-format", "jsonl",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "provenance:" in out and "0 inconsistencies" in out
+        assert out_path.exists()
+
+    def test_serve_build_error_exits_two(self, capsys):
+        # Three round-robin shards for two tenants leaves one shard empty.
+        code = main([
+            "serve", "--workload", "q1", "--events", "200",
+            "--tenants", "2", "--shards", "3",
+        ])
+        assert code == 2
+        assert "received no tenants" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workload", "q1", "--placement", "astrology"])

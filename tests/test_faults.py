@@ -27,7 +27,12 @@ from repro.remote.monitor import (
 )
 from repro.remote.retry import RetryPolicy
 from repro.remote.store import RemoteStore
-from repro.remote.transport import FixedLatency, Transport
+from repro.remote.transport import (
+    MODE_BLOCKING,
+    FetchRequest,
+    FixedLatency,
+    Transport,
+)
 from repro.sim.rng import make_rng
 
 
@@ -249,7 +254,7 @@ class TestTransportFaultPaths:
             fault_model=OneError(), fault_rng=make_rng(2),
             retry_policy=RetryPolicy(max_attempts=3, backoff_base=5.0, jitter=0.0),
         )
-        request = transport.fetch_blocking(("t", 1), now=0.0)
+        request = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert request.ok
         assert request.attempt == 2
         # error known at 10, backoff 5, reissue at 15, arrives at 25
@@ -263,7 +268,7 @@ class TestTransportFaultPaths:
             fault_model=TransientErrorFaults(1.0), fault_rng=make_rng(2),
             retry_policy=RetryPolicy(max_attempts=3, backoff_base=5.0, jitter=0.0),
         )
-        request = transport.fetch_blocking(("t", 1), now=0.0)
+        request = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert not request.ok
         assert request.final
         assert request.attempt == 3
@@ -276,7 +281,7 @@ class TestTransportFaultPaths:
             fault_model=DropFaults(1.0), fault_rng=make_rng(2),
             retry_policy=RetryPolicy(max_attempts=1, attempt_timeout=300.0),
         )
-        request = transport.fetch_blocking(("t", 1), now=0.0)
+        request = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert not request.ok
         assert request.error == "timeout"
         assert request.arrives_at == pytest.approx(300.0)
@@ -291,7 +296,7 @@ class TestTransportFaultPaths:
             fault_model=OneError(), fault_rng=make_rng(2),
             retry_policy=RetryPolicy(max_attempts=3, backoff_base=5.0, jitter=0.0),
         )
-        transport.fetch_async(("t", 1), now=0.0)
+        transport.submit(FetchRequest(("t", 1), at=0.0))
         # Failure known at 10; nothing deliverable yet, the retry is pending.
         assert transport.deliver_due(12.0) == []
         assert transport.pending_count() == 1
@@ -309,7 +314,7 @@ class TestTransportFaultPaths:
                 jitter=0.0, deadline=200.0,
             ),
         )
-        request = transport.fetch_blocking(("t", 1), now=0.0)
+        request = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert not request.ok
         # attempts at 0, 60, 120, 180; failure of the 4th known at 190;
         # elapsed 190 < 200 allows a 5th at 240 whose failure (250) stops it.
@@ -325,12 +330,12 @@ class TestTransportFaultPaths:
             retry_policy=RetryPolicy(max_attempts=2, backoff_base=5.0, jitter=0.0),
             breakers=board,
         )
-        first = transport.fetch_blocking(("t", 1), now=0.0)
+        first = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         transport.complete(first)
         assert not first.ok
         assert not board.available("t", first.arrives_at)
         # While open: no latency draw, instant failure.
-        request = transport.fetch_blocking(("t", 1), now=first.arrives_at + 1.0)
+        request = transport.submit(FetchRequest(("t", 1), at=first.arrives_at + 1.0, mode=MODE_BLOCKING))
         transport.complete(request)
         assert request.error == "breaker_open"
         assert request.arrives_at == first.arrives_at + 1.0
@@ -350,11 +355,11 @@ class TestTransportFaultPaths:
             retry_policy=RetryPolicy(max_attempts=2, backoff_base=5.0, jitter=0.0),
             breakers=board,
         )
-        first = transport.fetch_blocking(("t", 1), now=0.0)
+        first = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         transport.complete(first)
         assert not first.ok
         # After cooldown the half-open probe succeeds and closes the breaker.
-        probe = transport.fetch_blocking(("t", 1), now=200.0)
+        probe = transport.submit(FetchRequest(("t", 1), at=200.0, mode=MODE_BLOCKING))
         transport.complete(probe)
         assert probe.ok
         assert board.state("t", 220.0) == BREAKER_CLOSED
@@ -381,10 +386,10 @@ class TestTransportFaultPaths:
             fault_model=OneError(), fault_rng=make_rng(2),
             retry_policy=RetryPolicy(max_attempts=3, backoff_base=5.0, jitter=0.0),
         )
-        transport.fetch_async(("t", 1), now=0.0)
+        transport.submit(FetchRequest(("t", 1), at=0.0))
         # The async attempt will fail at 10; a blocking caller at 5 drives
         # the whole retry chain synchronously and gets the final success.
-        request = transport.fetch_blocking(("t", 1), now=5.0)
+        request = transport.submit(FetchRequest(("t", 1), at=5.0, mode=MODE_BLOCKING))
         assert request.ok
         assert request.attempt == 2
         assert transport.blocking_fetches == 0

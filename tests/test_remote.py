@@ -8,6 +8,8 @@ from repro.remote.monitor import LatencyMonitor
 from repro.remote.retry import RetryPolicy
 from repro.remote.store import MISSING_VALUE, RemoteStore
 from repro.remote.transport import (
+    MODE_BLOCKING,
+    FetchRequest,
     FixedLatency,
     PerSourceLatency,
     Transport,
@@ -126,14 +128,14 @@ class TestTransport:
 
     def test_blocking_fetch_latency(self):
         transport = self._transport(25.0)
-        request = transport.fetch_blocking(("t", 1), now=100.0)
+        request = transport.submit(FetchRequest(("t", 1), at=100.0, mode=MODE_BLOCKING))
         assert request.arrives_at == 125.0
         assert request.element.value == "one"
         assert transport.blocking_fetches == 1
 
     def test_async_fetch_tracked_until_delivered(self):
         transport = self._transport(10.0)
-        transport.fetch_async(("t", 1), now=0.0)
+        transport.submit(FetchRequest(("t", 1), at=0.0))
         assert transport.pending_count() == 1
         assert transport.deliver_due(5.0) == []
         delivered = transport.deliver_due(10.0)
@@ -142,16 +144,16 @@ class TestTransport:
 
     def test_async_coalesces_duplicate_requests(self):
         transport = self._transport()
-        first = transport.fetch_async(("t", 1), now=0.0)
-        second = transport.fetch_async(("t", 1), now=3.0)
+        first = transport.submit(FetchRequest(("t", 1), at=0.0))
+        second = transport.submit(FetchRequest(("t", 1), at=3.0))
         assert first is second
         assert transport.coalesced == 1
         assert transport.async_fetches == 1
 
     def test_blocking_joins_in_flight_request(self):
         transport = self._transport(10.0)
-        async_request = transport.fetch_async(("t", 1), now=0.0)
-        blocking = transport.fetch_blocking(("t", 1), now=8.0)
+        async_request = transport.submit(FetchRequest(("t", 1), at=0.0))
+        blocking = transport.submit(FetchRequest(("t", 1), at=8.0, mode=MODE_BLOCKING))
         assert blocking is async_request
         assert transport.blocking_fetches == 0
 
@@ -169,14 +171,14 @@ class TestTransport:
                 return next(latencies)
 
         transport = Transport(store, SeqLatency(), make_rng(1))
-        transport.fetch_async(("t", 1), 0.0)  # arrives at 30
-        transport.fetch_async(("t", 2), 0.0)  # arrives at 10
+        transport.submit(FetchRequest(("t", 1), at=0.0))  # arrives at 30
+        transport.submit(FetchRequest(("t", 2), at=0.0))  # arrives at 10
         delivered = transport.deliver_due(100.0)
         assert [req.key for req in delivered] == [("t", 2), ("t", 1)]
 
     def test_monitor_records_observations(self):
         transport = self._transport(42.0)
-        transport.fetch_blocking(("t", 1), 0.0)
+        transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert transport.monitor.estimate(("t", 1)) == 42.0
 
     def test_blocking_fetch_registers_in_flight(self):
@@ -184,22 +186,22 @@ class TestTransport:
         # consumer completes it — an async fetch issued at the same virtual
         # instant must coalesce instead of duplicating the wire request.
         transport = self._transport(10.0)
-        blocking = transport.fetch_blocking(("t", 1), now=0.0)
+        blocking = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert transport.in_flight(("t", 1)) is blocking
-        joined = transport.fetch_async(("t", 1), now=0.0)
+        joined = transport.submit(FetchRequest(("t", 1), at=0.0))
         assert joined is blocking
         assert transport.async_fetches == 0
         assert transport.coalesced == 1
         transport.complete(blocking)
         assert transport.in_flight(("t", 1)) is None
         # Once completed, the key is fetchable again as a fresh request.
-        assert transport.fetch_async(("t", 1), now=20.0) is not blocking
+        assert transport.submit(FetchRequest(("t", 1), at=20.0)) is not blocking
 
     def test_complete_ignores_stale_request(self):
         transport = self._transport(10.0)
-        first = transport.fetch_blocking(("t", 1), now=0.0)
+        first = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         transport.complete(first)
-        fresh = transport.fetch_async(("t", 1), now=5.0)
+        fresh = transport.submit(FetchRequest(("t", 1), at=5.0))
         transport.complete(first)  # stale handle: must not evict `fresh`
         assert transport.in_flight(("t", 1)) is fresh
 
@@ -210,9 +212,9 @@ class TestTransport:
         for k in (1, 2, 3):
             store.put("t", k, str(k))
         transport = Transport(store, FixedLatency(10.0), make_rng(1))
-        transport.fetch_async(("t", 3), 0.0)
-        transport.fetch_async(("t", 1), 0.0)
-        transport.fetch_async(("t", 2), 5.0)  # arrives at 15
+        transport.submit(FetchRequest(("t", 3), at=0.0))
+        transport.submit(FetchRequest(("t", 1), at=0.0))
+        transport.submit(FetchRequest(("t", 2), at=5.0))  # arrives at 15
         delivered = transport.deliver_due(100.0)
         assert [req.key for req in delivered] == [("t", 1), ("t", 3), ("t", 2)]
 
@@ -230,13 +232,13 @@ class TestTransport:
             fault_rng=make_rng(6),
             retry_policy=RetryPolicy(max_attempts=2, attempt_timeout=50.0),
         )
-        failed = transport.fetch_blocking(("t", 1), now=0.0)
+        failed = transport.submit(FetchRequest(("t", 1), at=0.0, mode=MODE_BLOCKING))
         assert not failed.ok
         assert failed.element is None
         assert failed.error == "timeout"
         # Whereas a fetch of an absent key *succeeds* with the sentinel.
         clean = Transport(store, FixedLatency(10.0), make_rng(5))
-        missing = clean.fetch_blocking(("t", 99), now=0.0)
+        missing = clean.submit(FetchRequest(("t", 99), at=0.0, mode=MODE_BLOCKING))
         assert missing.ok
         assert missing.element.value is MISSING_VALUE
 

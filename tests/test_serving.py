@@ -1,0 +1,495 @@
+"""Tests for the serving layer: fleet builder, placement, admission, provenance.
+
+Four promises are pinned down here, mirroring the layer's acceptance bar:
+
+* **byte identity** — a single-shard single-tenant fleet is the same
+  machine as a plain :class:`repro.RuntimeBuilder` run: identical
+  summaries, match signatures, and metric snapshots, healthy and under
+  transport faults alike;
+* **determinism** — a multi-shard, rate-limited, traced fleet replays to
+  the exact same results *and the exact same trace* every run, and the
+  provenance replayer re-derives every ``serving`` decision;
+* **eager validation** — every malformed spec (duplicate names, bad
+  placement, zero rates, quotas without a shedding policy, backends
+  lacking a required capability) fails at build time with the offending
+  field, never mid-dispatch;
+* **admission mechanics** — the virtual-time token bucket refills, caps,
+  and counts exactly as the trace records claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.base import BackendCapabilityError
+from repro.core.config import EiresConfig
+from repro.obs.provenance import replay_trace, verify_serving_record
+from repro.obs.slo import SloSpec
+from repro.obs.trace import CAT_SERVING, MemorySink, Tracer
+from repro.remote.transport import TRANSPORT_COUNTER_KEYS, FixedLatency, UniformLatency
+from repro.runtime.builder import RuntimeBuilder
+from repro.serving import (
+    PLACE_HASH,
+    PLACE_PINNED,
+    FleetBuilder,
+    TenantSpec,
+    TokenBucket,
+    assign_shards,
+    stable_hash,
+)
+from repro.serving.ratelimit import US_PER_SECOND
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    make_store,
+    make_stream,
+    q1_query,
+    q2_query,
+)
+
+from tests.helpers import make_abc_scenario, random_stream
+
+
+SYNTH = SyntheticConfig(n_events=2_000, seed=11)
+
+
+def synth_latency(sc: SyntheticConfig) -> UniformLatency:
+    return UniformLatency(sc.latency_low_us, sc.latency_high_us)
+
+
+def plain_run(sc: SyntheticConfig, **config_kwargs):
+    """The reference: q1+q2 through a plain RuntimeBuilder."""
+    runtime = (
+        RuntimeBuilder(make_store(sc), synth_latency(sc),
+                       config=EiresConfig(**config_kwargs))
+        .add_query(q1_query(sc))
+        .add_query(q2_query(sc))
+        .build()
+    )
+    return runtime.run(make_stream(sc))
+
+
+def fleet_run(sc: SyntheticConfig, **config_kwargs):
+    """The same q1+q2 run as one tenant on a one-shard fleet."""
+    fleet = (
+        FleetBuilder(make_store(sc), synth_latency(sc),
+                     config=EiresConfig(**config_kwargs))
+        .add_tenant(TenantSpec("solo", [q1_query(sc), q2_query(sc)]))
+        .build()
+    )
+    return fleet.dispatch(make_stream(sc))
+
+
+def build_abc_fleet(tenant_kwargs_by_name, n_shards=1, placement="round_robin",
+                    pins=None, tracer=None, **config_kwargs):
+    """A fleet of renamed copies of the ABC query, one per tenant."""
+    import copy
+
+    base_query, store = make_abc_scenario()
+    builder = FleetBuilder(
+        store, FixedLatency(20.0), n_shards=n_shards, placement=placement,
+        pins=pins, config=EiresConfig(cache_capacity=50, **config_kwargs),
+        tracer=tracer,
+    )
+    for name, kwargs in tenant_kwargs_by_name.items():
+        query = copy.copy(base_query)
+        query.name = f"abc_{name}"
+        builder.add_tenant(TenantSpec(name, query, **kwargs))
+    return builder.build()
+
+
+class TestByteIdentity:
+    """A trivial fleet must be byte-identical to a plain runtime run."""
+
+    def assert_identical(self, plain, fleet_result):
+        tenant = fleet_result.tenant_result("solo")
+        assert set(plain) == set(tenant)
+        for name in plain:
+            assert plain[name].match_signatures() == tenant[name].match_signatures()
+            assert plain[name].summary() == tenant[name].summary()
+            assert plain[name].metrics == tenant[name].metrics
+            assert plain[name].transport_stats == tenant[name].transport_stats
+
+    def test_healthy_run_is_identical(self):
+        plain = plain_run(SYNTH)
+        fleet_result = fleet_run(SYNTH)
+        self.assert_identical(plain, fleet_result)
+
+    def test_faulty_run_is_identical(self):
+        plain = plain_run(SYNTH, fault_profile="drop:0.05", seed=11)
+        fleet_result = fleet_run(SYNTH, fault_profile="drop:0.05", seed=11)
+        self.assert_identical(plain, fleet_result)
+
+    def test_fleet_level_accounting_matches(self):
+        fleet_result = fleet_run(SYNTH)
+        assert fleet_result.n_shards == 1
+        assert fleet_result.events_total == SYNTH.n_events
+        # No rate limit: every event is admitted, none throttled.
+        assert fleet_result.admitted == {"solo": SYNTH.n_events}
+        assert fleet_result.throttled == {"solo": 0}
+        assert fleet_result.delivered == [SYNTH.n_events]
+        assert fleet_result.skew == 0
+        assert set(fleet_result.transport_stats) == set(TRANSPORT_COUNTER_KEYS)
+
+
+def traced_three_shard_fleet():
+    tenants = {
+        "alpha": dict(rate_limit=30_000.0, burst=16.0),
+        "beta": dict(rate_limit=30_000.0, burst=16.0),
+        "gamma": {},
+        "delta": {},
+    }
+    sink = MemorySink()
+    fleet = build_abc_fleet(
+        tenants, n_shards=3, placement=PLACE_HASH, tracer=Tracer(sink, track="F"),
+    )
+    result = fleet.dispatch(random_stream(600, seed=9))
+    return result, sink
+
+
+class TestDeterminism:
+    def test_three_shard_replay_is_deterministic(self):
+        first, first_sink = traced_three_shard_fleet()
+        second, second_sink = traced_three_shard_fleet()
+        assert first.summary() == second.summary()
+        assert first_sink.records == second_sink.records
+        for tenant in first.results:
+            ours, theirs = first.results[tenant], second.results[tenant]
+            for name in ours:
+                assert ours[name].match_signatures() == theirs[name].match_signatures()
+
+    def test_serving_records_replay_clean(self):
+        result, sink = traced_three_shard_fleet()
+        serving = sink.by_category(CAT_SERVING)
+        names = {record["name"] for record in serving}
+        assert "route" in names and "admit" in names and "throttle" in names
+        replay = replay_trace(sink.records)
+        assert replay["problems"] == []
+        assert replay["checked_serving"] == len(serving) > 0
+
+    def test_throttling_shows_up_everywhere(self):
+        result, sink = traced_three_shard_fleet()
+        throttles = [r for r in sink.by_category(CAT_SERVING) if r["name"] == "throttle"]
+        assert throttles, "burst=16 over 600 events must throttle"
+        throttled_tenants = {record["tenant"] for record in throttles}
+        assert throttled_tenants <= {"alpha", "beta"}
+        for tenant in ("alpha", "beta"):
+            assert result.throttled[tenant] > 0
+            assert result.admitted[tenant] + result.throttled[tenant] == 600
+        for tenant in ("gamma", "delta"):
+            assert result.throttled[tenant] == 0
+            assert result.admitted[tenant] == 600
+
+    def test_hash_placement_matches_stable_hash(self):
+        result, _ = traced_three_shard_fleet()
+        for tenant, shard in result.placement.items():
+            assert shard == stable_hash(tenant) % 3
+
+    def test_tracing_does_not_change_results(self):
+        tenants = {"alpha": dict(rate_limit=30_000.0, burst=16.0), "beta": {}}
+        stream_seed = 9
+
+        def run(tracer):
+            fleet = build_abc_fleet(tenants, n_shards=2, tracer=tracer)
+            return fleet.dispatch(random_stream(400, seed=stream_seed))
+
+        plain = run(None)
+        traced = run(Tracer(MemorySink(), track="F"))
+        assert plain.summary() == traced.summary()
+        for tenant in plain.results:
+            for name in plain.results[tenant]:
+                assert (
+                    plain.results[tenant][name].match_signatures()
+                    == traced.results[tenant][name].match_signatures()
+                )
+
+
+class TestTenantScoping:
+    def test_multi_tenant_metrics_are_tenant_scoped(self):
+        fleet = build_abc_fleet({"alpha": {}, "beta": {}})
+        result = fleet.dispatch(random_stream(300, seed=5))
+        run_result = result.tenant_result("alpha")["abc_alpha"]
+        names = set(run_result.metrics)
+        assert any(n.startswith("tenant.alpha.query.abc_alpha.") for n in names)
+        assert any(n.startswith("tenant.beta.query.abc_beta.") for n in names)
+
+    def test_tenant_slo_lands_on_scoped_gauges(self):
+        fleet = build_abc_fleet({
+            "alpha": dict(slo=SloSpec(latency_bound=50_000.0)),
+            "beta": {},
+        })
+        result = fleet.dispatch(random_stream(300, seed=5))
+        names = set(result.tenant_result("alpha")["abc_alpha"].metrics)
+        assert any(n.startswith("tenant.alpha.slo.") for n in names)
+        assert not any(n.startswith("tenant.beta.slo.") for n in names)
+
+    def test_tenant_result_rejects_unknown_tenant(self):
+        fleet = build_abc_fleet({"alpha": {}})
+        result = fleet.dispatch(random_stream(50, seed=5))
+        with pytest.raises(KeyError, match="nobody"):
+            result.tenant_result("nobody")
+
+
+class TestBuildValidation:
+    def test_no_tenants(self):
+        _, store = make_abc_scenario()
+        with pytest.raises(ValueError, match="at least one tenant"):
+            FleetBuilder(store, FixedLatency(20.0)).build()
+
+    def test_duplicate_tenant_names(self):
+        query, store = make_abc_scenario()
+        builder = (
+            FleetBuilder(store, FixedLatency(20.0))
+            .add_tenant(TenantSpec("alpha", query))
+            .add_tenant(TenantSpec("alpha", query))
+        )
+        with pytest.raises(ValueError, match="tenant names must be unique"):
+            builder.build()
+
+    def test_duplicate_query_names_across_tenants(self):
+        query, store = make_abc_scenario()
+        builder = (
+            FleetBuilder(store, FixedLatency(20.0))
+            .add_tenant(TenantSpec("alpha", query))
+            .add_tenant(TenantSpec("beta", query))
+        )
+        with pytest.raises(ValueError, match="query names must be unique"):
+            builder.build()
+
+    def test_unknown_placement_policy(self):
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            build_abc_fleet({"alpha": {}}, placement="astrology")
+
+    def test_pins_must_cover_every_tenant(self):
+        with pytest.raises(ValueError, match="misses tenants"):
+            build_abc_fleet(
+                {"alpha": {}, "beta": {}}, n_shards=2,
+                placement=PLACE_PINNED, pins={"alpha": 0},
+            )
+
+    def test_pins_must_be_in_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            build_abc_fleet(
+                {"alpha": {}}, n_shards=2,
+                placement=PLACE_PINNED, pins={"alpha": 7},
+            )
+
+    def test_pins_illegal_without_pinned_policy(self):
+        with pytest.raises(ValueError, match="only valid with"):
+            build_abc_fleet({"alpha": {}}, pins={"alpha": 0})
+
+    def test_empty_shard_fails_the_build(self):
+        with pytest.raises(ValueError, match="received no tenants"):
+            build_abc_fleet({"alpha": {}, "beta": {}}, n_shards=3)
+
+    def test_run_budget_requires_a_shedding_policy(self):
+        with pytest.raises(ValueError, match="shedding policy"):
+            build_abc_fleet({"alpha": dict(run_budget=10)})
+
+    def test_run_budget_rides_the_shedding_plane(self):
+        fleet = build_abc_fleet(
+            {"alpha": dict(run_budget=5), "beta": {}},
+            shed_policy="runs", run_budget=1_000,
+        )
+        result = fleet.dispatch(random_stream(300, seed=5))
+        assert result.tenant_result("alpha")["abc_alpha"].match_count >= 0
+
+    def test_backend_capability_refusal_surfaces_reason(self):
+        # The tree backend has no shedding surface; asking it to enforce a
+        # tenant quota must fail with the backend's own reason.
+        with pytest.raises(BackendCapabilityError, match="'tree'.*load shedding"):
+            build_abc_fleet(
+                {"alpha": dict(run_budget=10, backend="tree")},
+                shed_policy="runs", run_budget=1_000,
+            )
+
+
+class TestTenantSpecValidation:
+    def query(self):
+        query, _ = make_abc_scenario()
+        return query
+
+    def test_name_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            TenantSpec("", self.query())
+
+    def test_needs_at_least_one_query(self):
+        with pytest.raises(ValueError, match="declares no queries"):
+            TenantSpec("alpha", [])
+
+    def test_rate_limit_must_be_positive(self):
+        for bad in (0.0, -5.0):
+            with pytest.raises(ValueError, match="rate limit must be positive"):
+                TenantSpec("alpha", self.query(), rate_limit=bad)
+
+    def test_burst_requires_a_rate_limit(self):
+        with pytest.raises(ValueError, match="burst without a rate limit"):
+            TenantSpec("alpha", self.query(), burst=4.0)
+
+    def test_burst_must_hold_a_whole_token(self):
+        with pytest.raises(ValueError, match="at least 1.0"):
+            TenantSpec("alpha", self.query(), rate_limit=10.0, burst=0.5)
+
+    def test_burst_defaults_to_rate(self):
+        assert TenantSpec("a", self.query(), rate_limit=500.0).burst == 500.0
+        assert TenantSpec("a", self.query(), rate_limit=0.25).burst == 1.0
+
+    def test_run_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="run budget must be positive"):
+            TenantSpec("alpha", self.query(), run_budget=0)
+
+    def test_priority_must_be_positive(self):
+        with pytest.raises(ValueError, match="priority must be positive"):
+            TenantSpec("alpha", self.query(), priority=0.0)
+
+
+class TestPlacement:
+    def test_round_robin_wraps(self):
+        assert assign_shards(["a", "b", "c"], 2) == {"a": 0, "b": 1, "c": 0}
+
+    def test_hash_is_stable(self):
+        first = assign_shards(["a", "b", "c"], 4, policy=PLACE_HASH)
+        second = assign_shards(["a", "b", "c"], 4, policy=PLACE_HASH)
+        assert first == second
+        assert all(0 <= shard < 4 for shard in first.values())
+
+    def test_stable_hash_known_value(self):
+        # FNV-1a 64-bit test vector: hashing the empty string yields the
+        # offset basis; "a" is a published vector.
+        assert stable_hash("") == 0xCBF29CE484222325
+        assert stable_hash("a") == 0xAF63DC4C8601EC8C
+
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            assign_shards(["a"], 0)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=5.0)
+        assert bucket.tokens == 5.0
+        bucket.refill(10 * US_PER_SECOND)
+        assert bucket.tokens == 5.0
+
+    def test_drains_then_refills_with_virtual_time(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)  # 1 token per virtual second
+        assert bucket.admit(0.0) and bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+        # Half a second later: half a token — still short of one.
+        assert not bucket.admit(0.5 * US_PER_SECOND)
+        assert bucket.admit(1.5 * US_PER_SECOND)
+        assert bucket.admitted == 3 and bucket.throttled == 2
+
+    def test_decide_reports_post_refill_level(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        admitted, tokens = bucket.decide(0.0)
+        assert admitted and tokens == 4.0
+        assert bucket.tokens == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            TokenBucket(rate=0.0, burst=4.0)
+        with pytest.raises(ValueError, match="at least 1.0"):
+            TokenBucket(rate=10.0, burst=0.25)
+
+
+class TestServingProvenance:
+    """verify_serving_record catches tampered records of every kind."""
+
+    def route(self, **overrides):
+        record = {
+            "cat": "serving", "name": "route", "seq": 1, "tenant": "alpha",
+            "shard": 1, "policy": "round_robin", "index": 1, "n_shards": 2,
+        }
+        record.update(overrides)
+        return record
+
+    def admit(self, **overrides):
+        record = {
+            "cat": "serving", "name": "admit", "seq": 2, "tenant": "alpha",
+            "seq_no": 7, "tokens": 3.5, "rate": 100.0, "burst": 8.0,
+        }
+        record.update(overrides)
+        return record
+
+    def test_clean_records_pass(self):
+        assert verify_serving_record(self.route()) == []
+        assert verify_serving_record(self.admit()) == []
+
+    def test_round_robin_tamper_is_caught(self):
+        problems = verify_serving_record(self.route(shard=0))
+        assert problems and "implies shard 1" in problems[0]
+
+    def test_hash_tamper_is_caught(self):
+        good = stable_hash("alpha") % 2
+        assert verify_serving_record(
+            self.route(policy="hash", shard=good)
+        ) == []
+        problems = verify_serving_record(self.route(policy="hash", shard=1 - good))
+        assert problems and "hash placement" in problems[0]
+
+    def test_out_of_range_shard_is_caught(self):
+        problems = verify_serving_record(self.route(policy="pinned", shard=9))
+        assert problems and "outside" in problems[0]
+
+    def test_unknown_policy_is_caught(self):
+        problems = verify_serving_record(self.route(policy="astrology", shard=0))
+        assert problems and "unknown placement" in problems[0]
+
+    def test_admission_threshold_is_replayed(self):
+        problems = verify_serving_record(self.admit(tokens=0.4))
+        assert problems and "imply 'throttle'" in problems[0]
+        assert verify_serving_record(
+            self.admit(name="throttle", tokens=0.4)
+        ) == []
+
+    def test_token_level_outside_burst_is_caught(self):
+        problems = verify_serving_record(self.admit(tokens=99.0))
+        assert any("outside" in problem for problem in problems)
+
+    def test_missing_fields_are_caught(self):
+        record = self.route()
+        del record["n_shards"]
+        assert "missing fields" in verify_serving_record(record)[0]
+
+    def test_unknown_record_name_is_caught(self):
+        problems = verify_serving_record({"cat": "serving", "name": "mystery"})
+        assert problems and "unknown record name" in problems[0]
+
+
+class TestAmortization:
+    def test_overlapping_tenants_share_the_wire(self):
+        """Four tenants over the same remote keys beat four isolated runs."""
+        base_query, _ = make_abc_scenario()
+        stream_events = 500
+        isolated_wire = 0
+        for index in range(4):
+            _, store = make_abc_scenario()
+            result = (
+                RuntimeBuilder(store, FixedLatency(20.0),
+                               config=EiresConfig(cache_capacity=50))
+                .add_query(base_query)
+                .build()
+                .run(random_stream(stream_events, seed=21))[base_query.name]
+            )
+            isolated_wire += result.transport_stats["wire_requests"]
+
+        fleet = build_abc_fleet({f"t{i}": {} for i in range(4)})
+        fleet_result = fleet.dispatch(random_stream(stream_events, seed=21))
+        assert fleet_result.transport_stats["wire_requests"] < isolated_wire
+        assert fleet_result.amortization >= 1.0
+        # Sharing must not change what each tenant detects.
+        match_counts = {
+            name: result.match_count
+            for tenant in fleet_result.results.values()
+            for name, result in tenant.items()
+        }
+        assert len(set(match_counts.values())) == 1
+
+    def test_summary_carries_fleet_level_keys(self):
+        fleet = build_abc_fleet({"alpha": {}, "beta": {}}, n_shards=2)
+        summary = fleet.dispatch(random_stream(200, seed=5)).summary()
+        for key in ("n_shards", "n_tenants", "placement", "events", "admitted",
+                    "throttled", "skew", "amortization",
+                    "shard.0.delivered", "shard.1.delivered"):
+            assert key in summary
+        assert any(key.startswith("transport.") for key in summary)
